@@ -1,0 +1,64 @@
+package charnet_test
+
+import (
+	"testing"
+
+	"repro/charnet"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Catalogs.
+	if len(charnet.DotNetCategories()) != 44 {
+		t.Fatal("44 .NET categories expected")
+	}
+	if len(charnet.AspNetWorkloads()) != 53 {
+		t.Fatal("53 ASP.NET workloads expected")
+	}
+	if len(charnet.Machines()) != 3 {
+		t.Fatal("3 machines expected")
+	}
+	if len(charnet.MetricNames()) != 24 {
+		t.Fatal("24 metrics expected")
+	}
+
+	// Run one workload and pull metrics.
+	p, ok := charnet.WorkloadByName(charnet.DotNetCategories(), "System.Runtime")
+	if !ok {
+		t.Fatal("System.Runtime missing")
+	}
+	res, err := charnet.Run(p, charnet.CoreI9(), charnet.Options{Instructions: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := charnet.Metrics(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec[charnet.CPI] <= 0 {
+		t.Fatal("CPI must be positive")
+	}
+
+	// Characterize a small suite and validate a subset across machines.
+	suite := charnet.DotNetCategories()[:8]
+	opts := charnet.Options{Instructions: 5000}
+	msA := charnet.MeasureSuite(suite, charnet.CoreI9(), opts)
+	msBase := charnet.MeasureSuite(suite, charnet.XeonE5(), opts)
+	ch, err := charnet.Characterize(msA, 4, charnet.Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := ch.Subset(3)
+	val, err := charnet.ValidateSubset("facade", msBase, msA, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val.AccuracyFraction <= 0 || val.AccuracyFraction > 1 {
+		t.Fatalf("accuracy %v", val.AccuracyFraction)
+	}
+}
+
+func TestSuiteConstants(t *testing.T) {
+	if charnet.DotNet.String() != ".NET" || charnet.AspNet.String() != "ASP.NET" || charnet.SpecCPU17.String() != "SPEC CPU17" {
+		t.Fatal("suite constants broken")
+	}
+}

@@ -1,0 +1,290 @@
+// Command charnet reproduces the tables and figures of "Performance
+// Characterization of .NET Benchmarks" (ISPASS 2021) from the simulated
+// substrate and prints them as text.
+//
+// Usage:
+//
+//	charnet [-full] <command>
+//
+// Commands:
+//
+//	metrics    print the Table I metric catalog
+//	machines   print the Table II machine models
+//	suites     print suite sizes and the Table IV subsets
+//	run NAME   run one workload on the i9 and print its metrics
+//	table3     Table III  (PCA loading factors)
+//	table4     Table IV   (representative subsets, derived)
+//	fig1       Fig 1      (dendrogram of .NET categories)
+//	fig2       Fig 2      (subset validation)
+//	fig3       Fig 3      (kernel instruction share)
+//	fig4       Fig 4      (instruction mix)
+//	fig5       Fig 5      (.NET vs SPEC PCA scatter)
+//	fig6       Fig 6      (ASP.NET vs SPEC PCA scatter)
+//	fig7       Fig 7      (x86-64 vs AArch64)
+//	fig8       Fig 8      (counter geomeans)
+//	fig9       Fig 9      (basic Top-Down)
+//	fig10      Fig 10     (frontend/backend breakdown)
+//	fig11      Figs 11+12 (core-count scaling)
+//	fig13      Fig 13     (JIT/GC correlation study)
+//	fig14      Fig 14     (workstation vs server GC sweep)
+//	extensions what-if study of the paper's §VIII hardware proposals
+//	claims     execute the machine-checkable reproduction-claim catalog
+//	sensitivity check headline orderings across simulator configurations
+//	crossisa   extension: does an x86-derived subset transfer to Arm?
+//	export S F measure suite S (dotnet|aspnet|spec) and emit F (csv|json)
+//	trace NAME run NAME with 1ms-style sampling and emit the sample CSV
+//	all        everything above, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/charnet"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/textplot"
+)
+
+func main() {
+	full := flag.Bool("full", false, "full-fidelity runs (all workloads, more instructions)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	lab := experiments.NewLab(cfg)
+
+	cmd := flag.Arg(0)
+	if err := dispatch(lab, cmd, flag.Args()[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: charnet [-full] <metrics|machines|suites|run NAME|table3|table4|fig1..fig14|all>")
+}
+
+type figure func(*experiments.Lab) (fmt.Stringer, error)
+
+// figures maps command names to drivers, in paper order.
+var figures = []struct {
+	name string
+	run  figure
+}{
+	{"table3", wrap(experiments.TableIII)},
+	{"table4", wrap(experiments.TableIV)},
+	{"fig1", wrap(experiments.Figure1)},
+	{"fig2", wrap(experiments.Figure2)},
+	{"fig3", wrap(experiments.Figure3)},
+	{"fig4", wrap(experiments.Figure4)},
+	{"fig5", wrap(experiments.Figure5)},
+	{"fig6", wrap(experiments.Figure6)},
+	{"fig7", wrap(experiments.Figure7)},
+	{"fig8", wrap(experiments.Figure8)},
+	{"fig9", wrap(experiments.Figure9)},
+	{"fig10", wrap(experiments.Figure10)},
+	{"fig11", wrap(experiments.Figure11)},
+	{"fig12", wrap(experiments.Figure11)}, // Fig 12 shares the Fig 11 sweep
+	{"fig13", wrap(experiments.Figure13)},
+	{"fig14", wrap(experiments.Figure14)},
+	{"extensions", wrap(experiments.Extensions)},
+	{"claims", wrap(experiments.RunClaims)},
+	{"sensitivity", wrap(experiments.Sensitivity)},
+	{"crossisa", wrap(experiments.CrossISA)},
+}
+
+// wrap adapts a typed driver to the generic figure signature.
+func wrap[T fmt.Stringer](f func(*experiments.Lab) (T, error)) figure {
+	return func(l *experiments.Lab) (fmt.Stringer, error) {
+		return f(l)
+	}
+}
+
+func dispatch(lab *experiments.Lab, cmd string, args []string) error {
+	switch cmd {
+	case "metrics":
+		return printMetrics()
+	case "machines":
+		return printMachines()
+	case "suites":
+		return printSuites()
+	case "run":
+		if len(args) < 1 {
+			return fmt.Errorf("run requires a workload name")
+		}
+		return runOne(lab, args[0])
+	case "trace":
+		if len(args) < 1 {
+			return fmt.Errorf("trace requires a workload name")
+		}
+		return traceOne(lab, args[0])
+	case "export":
+		if len(args) < 1 {
+			return fmt.Errorf("export requires a suite: dotnet|aspnet|spec")
+		}
+		format := "csv"
+		if len(args) > 1 {
+			format = args[1]
+		}
+		return exportSuite(lab, args[0], format)
+	case "all":
+		for _, f := range figures {
+			if f.name == "fig12" {
+				continue // included in fig11 output
+			}
+			if err := printFigure(lab, f.run); err != nil {
+				return fmt.Errorf("%s: %w", f.name, err)
+			}
+		}
+		return nil
+	}
+	for _, f := range figures {
+		if f.name == cmd {
+			return printFigure(lab, f.run)
+		}
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func printFigure(lab *experiments.Lab, f figure) error {
+	res, err := f(lab)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	return nil
+}
+
+func printMetrics() error {
+	var rows [][]string
+	for _, id := range metrics.All() {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", int(id)), id.Category(), id.Name(), id.Unit(),
+		})
+	}
+	fmt.Print(textplot.Table("Table I: characterization metrics",
+		[]string{"ID", "category", "metric", "unit"}, rows))
+	return nil
+}
+
+func printMachines() error {
+	var rows [][]string
+	for _, m := range machine.All() {
+		rows = append(rows, []string{
+			m.Name, m.ISA.String(),
+			fmt.Sprintf("%d/%d", m.Cores, m.VCPUs),
+			fmt.Sprintf("%.1f/%.1f GHz", m.NomFreq, m.MaxFreq),
+			fmt.Sprintf("%dKiB/%dKiB/%dKiB/%dMiB",
+				m.L1D.SizeBytes/1024, m.L1I.SizeBytes/1024, m.L2.SizeBytes/1024, m.L3.SizeBytes/(1<<20)),
+			m.OS,
+		})
+	}
+	fmt.Print(textplot.Table("Table II: hardware configurations",
+		[]string{"machine", "ISA", "CPU/vCPU", "freq", "L1d/L1i/L2/L3", "OS"}, rows))
+	return nil
+}
+
+func printSuites() error {
+	fmt.Printf("suites:\n")
+	fmt.Printf("  .NET:    %d categories, %d individual microbenchmarks\n",
+		len(charnet.DotNetCategories()), len(charnet.DotNetWorkloads()))
+	fmt.Printf("  ASP.NET: %d benchmarks\n", len(charnet.AspNetWorkloads()))
+	fmt.Printf("  SPEC:    %d benchmarks\n", len(charnet.SpecWorkloads()))
+	fmt.Printf("paper Table IV subsets:\n")
+	fmt.Printf("  .NET:    %v\n", experiments.TableIVDotNetSubset)
+	fmt.Printf("  ASP.NET: %v\n", experiments.TableIVAspNetSubset)
+	fmt.Printf("  SPEC:    %v\n", experiments.TableIVSpecSubset)
+	return nil
+}
+
+// traceOne runs a workload with periodic sampling and emits the sample
+// time series as CSV (the §VII-A correlation study's raw data).
+func traceOne(lab *experiments.Lab, name string) error {
+	var p charnet.Profile
+	var ok bool
+	for _, suite := range [][]charnet.Profile{
+		charnet.DotNetCategories(), charnet.AspNetWorkloads(), charnet.SpecWorkloads(),
+	} {
+		if p, ok = charnet.WorkloadByName(suite, name); ok {
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("workload %q not found in any suite", name)
+	}
+	res, err := charnet.Run(p, charnet.CoreI9(), charnet.Options{
+		Instructions:   lab.Cfg.Instructions * 4,
+		SampleInterval: lab.Cfg.SampleInterval,
+		AllocScale:     3000,
+	})
+	if err != nil {
+		return err
+	}
+	return report.WriteSamplesCSV(os.Stdout, report.FromSamples(res.Samples))
+}
+
+// exportSuite measures a whole suite and streams records to stdout.
+func exportSuite(lab *experiments.Lab, suiteName, format string) error {
+	var ps []charnet.Profile
+	switch suiteName {
+	case "dotnet":
+		ps = charnet.DotNetCategories()
+	case "aspnet":
+		ps = charnet.AspNetWorkloads()
+	case "spec":
+		ps = charnet.SpecWorkloads()
+	default:
+		return fmt.Errorf("unknown suite %q (want dotnet|aspnet|spec)", suiteName)
+	}
+	ms := charnet.MeasureSuite(ps, charnet.CoreI9(), charnet.Options{Instructions: lab.Cfg.Instructions})
+	recs := report.FromMeasurements(ms)
+	switch format {
+	case "csv":
+		return report.WriteCSV(os.Stdout, recs)
+	case "json":
+		return report.WriteJSON(os.Stdout, recs)
+	default:
+		return fmt.Errorf("unknown format %q (want csv|json)", format)
+	}
+}
+
+func runOne(lab *experiments.Lab, name string) error {
+	var p charnet.Profile
+	var ok bool
+	for _, suite := range [][]charnet.Profile{
+		charnet.DotNetCategories(), charnet.AspNetWorkloads(), charnet.SpecWorkloads(),
+	} {
+		if p, ok = charnet.WorkloadByName(suite, name); ok {
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("workload %q not found in any suite", name)
+	}
+	res, err := charnet.Run(p, charnet.CoreI9(), charnet.Options{Instructions: lab.Cfg.Instructions * 4})
+	if err != nil {
+		return err
+	}
+	vec, err := charnet.Metrics(res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%d cores)\n", p.Name, res.Machine.Name, res.Cores)
+	var rows [][]string
+	for _, id := range metrics.All() {
+		rows = append(rows, []string{id.Name(), fmt.Sprintf("%.4g", vec[id]), id.Unit()})
+	}
+	fmt.Print(textplot.Table("Table I metrics", []string{"metric", "value", "unit"}, rows))
+	fmt.Printf("Top-Down: %s\n", res.Profile)
+	return nil
+}

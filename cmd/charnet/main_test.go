@@ -1,0 +1,67 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// tinyLab is the smallest configuration the drivers accept.
+func tinyLab() *experiments.Lab {
+	cfg := experiments.Quick()
+	cfg.Instructions = 3000
+	cfg.DotNetIndividualLimit = 60
+	cfg.CoreSweep = []int{1, 4}
+	return experiments.NewLab(cfg)
+}
+
+func TestDispatchInfoCommands(t *testing.T) {
+	lab := tinyLab()
+	for _, cmd := range []string{"metrics", "machines", "suites"} {
+		if err := dispatch(lab, cmd, nil); err != nil {
+			t.Fatalf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestDispatchRun(t *testing.T) {
+	lab := tinyLab()
+	if err := dispatch(lab, "run", []string{"System.MathBenchmarks"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(lab, "run", nil); err == nil {
+		t.Fatal("run without a name should fail")
+	}
+	if err := dispatch(lab, "run", []string{"NoSuchWorkload"}); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if err := dispatch(tinyLab(), "fig99", nil); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+}
+
+func TestDispatchOneFigure(t *testing.T) {
+	// table3 exercises the measure→PCA path end to end through the CLI.
+	if err := dispatch(tinyLab(), "table3", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportArgs(t *testing.T) {
+	lab := tinyLab()
+	if err := dispatch(lab, "export", nil); err == nil {
+		t.Fatal("export without suite should fail")
+	}
+	if err := dispatch(lab, "export", []string{"nope"}); err == nil {
+		t.Fatal("unknown suite should fail")
+	}
+	if err := dispatch(lab, "export", []string{"spec", "nope"}); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+	if err := dispatch(lab, "export", []string{"spec", "json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+// Scaling: the paper's §VI-B2 experiment — run ASP.NET benchmarks at
+// 1, 2, 4, 8 and 16 cores and watch the Top-Down profile shift as shared
+// LLC slice-port and NoC contention raises LLC access latency while
+// per-core LLC MPKI stays flat (Figs 11 and 12).
+//
+// Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/charnet"
+)
+
+func main() {
+	names := []string{"Plaintext", "DbFortunesRaw", "MvcDbFortunesRaw"}
+	cores := []int{1, 2, 4, 8, 16}
+
+	for _, name := range names {
+		p, ok := charnet.WorkloadByName(charnet.AspNetWorkloads(), name)
+		if !ok {
+			log.Fatalf("%s not found", name)
+		}
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  %5s %8s %10s %12s %14s %14s\n",
+			"cores", "CPI", "L3-bound%", "backend%", "frontend%", "LLC MPKI/core")
+		for _, n := range cores {
+			res, err := charnet.Run(p, charnet.CoreI9(), charnet.Options{
+				Instructions: 25000,
+				Cores:        n,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			c := res.Counters
+			fmt.Printf("  %5d %8.2f %10.2f %12.1f %14.1f %14.3f\n",
+				n, c.CPI(), res.Profile.MemL3, res.Profile.BackendBound,
+				res.Profile.FrontendBound, c.MPKI(c.L3Misses))
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper headline: as cores grow, L3-bound stalls grow while per-core LLC MPKI")
+	fmt.Println("stays roughly stable — the latency comes from contention at LLC slice ports")
+	fmt.Println("and in the NoC, not from more misses.")
+}

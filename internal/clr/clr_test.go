@@ -1,0 +1,355 @@
+package clr
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+const mib = 1 << 20
+
+func TestEventLog(t *testing.T) {
+	var l EventLog
+	l.Emit(EvGCTriggered, 100)
+	l.Emit(EvJITStarted, 200)
+	l.Emit(EvGCTriggered, 300)
+	if l.Count(EvGCTriggered) != 2 || l.Count(EvJITStarted) != 1 || l.Count(EvException) != 0 {
+		t.Fatalf("counts wrong")
+	}
+	if len(l.Events) != 3 || l.Events[1].Cycle != 200 {
+		t.Fatalf("events %v", l.Events)
+	}
+	l.Reset()
+	if len(l.Events) != 0 || l.Count(EvGCTriggered) != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	want := map[EventKind]string{
+		EvGCTriggered:    "GC/Triggered",
+		EvAllocationTick: "GC/AllocationTick",
+		EvJITStarted:     "Method/JittingStarted",
+		EvException:      "Exception/Start",
+		EvContention:     "Contention/Start",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Fatalf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+	if EventKindCount != 5 {
+		t.Fatalf("EventKindCount = %d", EventKindCount)
+	}
+}
+
+func TestGCModeString(t *testing.T) {
+	if Workstation.String() != "workstation" || Server.String() != "server" {
+		t.Fatal("GC mode names")
+	}
+}
+
+func defaultHeapCfg() HeapConfig {
+	return HeapConfig{
+		Mode:              Workstation,
+		MaxBytes:          200 * mib,
+		Cores:             1,
+		LiveSetBytes:      10 * mib,
+		CompactionEnabled: true,
+	}
+}
+
+func TestHeapOOM(t *testing.T) {
+	cfg := defaultHeapCfg()
+	cfg.LiveSetBytes = 190 * mib // 190 + 47 headroom > 200
+	_, err := NewHeap(cfg, nil)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestServerGCReserveFailure(t *testing.T) {
+	// Paper: System.Text/Collections/Tests cannot start under server GC at
+	// 200 MiB because of the per-core segment reservation.
+	cfg := HeapConfig{
+		Mode:              Server,
+		MaxBytes:          200 * mib,
+		Cores:             18,
+		LiveSetBytes:      60 * mib,
+		CompactionEnabled: true,
+	}
+	_, err := NewHeap(cfg, nil)
+	if !errors.Is(err, ErrServerGCReserve) {
+		t.Fatalf("expected server reserve failure, got %v", err)
+	}
+	// Small live sets are fine even with many cores.
+	cfg.LiveSetBytes = 1 * mib
+	if _, err := NewHeap(cfg, nil); err != nil {
+		t.Fatalf("small live set should start: %v", err)
+	}
+}
+
+func TestServerBudgetSmallerThanWorkstation(t *testing.T) {
+	ws, err := NewHeap(defaultHeapCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgS := defaultHeapCfg()
+	cfgS.Mode = Server
+	cfgS.Cores = 1
+	srv, err := NewHeap(cfgS, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Gen0Budget() >= ws.Gen0Budget() {
+		t.Fatalf("server budget %d should be < workstation %d (6.18x trigger ratio)", srv.Gen0Budget(), ws.Gen0Budget())
+	}
+}
+
+func TestBudgetScalesWithHeapCap(t *testing.T) {
+	small := defaultHeapCfg()
+	big := defaultHeapCfg()
+	big.MaxBytes = 20000 * mib
+	hs, _ := NewHeap(small, nil)
+	hb, _ := NewHeap(big, nil)
+	if hb.Gen0Budget() <= hs.Gen0Budget() {
+		t.Fatal("bigger heap cap should collect less often")
+	}
+}
+
+func TestGCTriggerRatio(t *testing.T) {
+	// Allocate the same volume under both modes; server must trigger
+	// several times more often.
+	run := func(mode GCMode) uint64 {
+		cfg := defaultHeapCfg()
+		cfg.Mode = mode
+		var log EventLog
+		h, err := NewHeap(cfg, &log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20000; i++ {
+			h.Allocate(64*1024, uint64(i))
+		}
+		return h.Collections
+	}
+	ws, srv := run(Workstation), run(Server)
+	if ws == 0 || srv == 0 {
+		t.Fatalf("both modes should collect: ws=%d srv=%d", ws, srv)
+	}
+	ratio := float64(srv) / float64(ws)
+	if ratio < 3 || ratio > 12 {
+		t.Fatalf("server/workstation trigger ratio %v; paper reports ~6.18x", ratio)
+	}
+}
+
+func TestCompactionRestoresLocality(t *testing.T) {
+	cfg := defaultHeapCfg()
+	var log EventLog
+	h, _ := NewHeap(cfg, &log)
+	base := h.EffectiveRegion()
+	// Allocate just under the budget: effective region grows.
+	h.Allocate(h.Gen0Budget()-1024, 0)
+	if h.EffectiveRegion() <= base {
+		t.Fatal("nursery growth should expand the effective region")
+	}
+	// Crossing the budget compacts back to the live set.
+	h.Allocate(4096, 1)
+	if h.EffectiveRegion() != cfg.LiveSetBytes {
+		t.Fatalf("post-GC region %d, want live set %d", h.EffectiveRegion(), cfg.LiveSetBytes)
+	}
+	if log.Count(EvGCTriggered) != 1 {
+		t.Fatalf("GC events = %d", log.Count(EvGCTriggered))
+	}
+}
+
+func TestNoCompactionGrowsLiveRegion(t *testing.T) {
+	cfg := defaultHeapCfg()
+	cfg.CompactionEnabled = false
+	h, _ := NewHeap(cfg, nil)
+	for i := 0; i < 1000; i++ {
+		h.Allocate(1*mib, uint64(i))
+	}
+	if h.EffectiveRegion() <= cfg.LiveSetBytes {
+		t.Fatal("without compaction the live region should grow past the live set")
+	}
+	if h.EffectiveRegion() > cfg.MaxBytes+cfg.MaxBytes/4 {
+		t.Fatal("live region must stay bounded by the heap cap")
+	}
+}
+
+func TestAllocationTicks(t *testing.T) {
+	var log EventLog
+	h, _ := NewHeap(defaultHeapCfg(), &log)
+	h.Allocate(250*1024, 0) // 2 ticks at 100KiB quantum
+	if got := log.Count(EvAllocationTick); got != 2 {
+		t.Fatalf("allocation ticks = %d, want 2", got)
+	}
+}
+
+func TestGCInstructionCostServerHigher(t *testing.T) {
+	ws, _ := NewHeap(defaultHeapCfg(), nil)
+	cfgS := defaultHeapCfg()
+	cfgS.Mode = Server
+	srv, _ := NewHeap(cfgS, nil)
+	if srv.GCInstructionCost() <= ws.GCInstructionCost() {
+		t.Fatal("server GC per-collection cost should exceed workstation")
+	}
+}
+
+func TestHeapInvariantProperty(t *testing.T) {
+	// Effective region stays within [1, cap+slack] under arbitrary
+	// allocation sequences; collections only happen at budget crossings.
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := defaultHeapCfg()
+		h, err := NewHeap(cfg, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3000; i++ {
+			h.Allocate(int64(r.Intn(256*1024)), uint64(i))
+			if h.EffectiveRegion() < 1 {
+				return false
+			}
+			if h.EffectiveRegion() > cfg.MaxBytes+cfg.MaxBytes/4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func defaultJITCfg() JITConfig {
+	return JITConfig{
+		MethodCount:        64,
+		CodeBytes:          256 * 1024,
+		TierUpCalls:        100,
+		RelocationEnabled:  true,
+		CompileCostPerByte: 50,
+	}
+}
+
+func TestJITFirstCallCompiles(t *testing.T) {
+	var log EventLog
+	j, err := NewJIT(defaultJITCfg(), &log, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, size, res := j.Call(0, 10)
+	if !res.Compiled || addr == 0 || size <= 0 {
+		t.Fatalf("first call should compile: addr=%x size=%d res=%+v", addr, size, res)
+	}
+	if res.CompileInstructions == 0 || res.NewPages == 0 {
+		t.Fatalf("compilation must cost instructions and pages: %+v", res)
+	}
+	if log.Count(EvJITStarted) != 1 {
+		t.Fatalf("JIT events = %d", log.Count(EvJITStarted))
+	}
+	// Second call: no compilation, same address.
+	addr2, _, res2 := j.Call(0, 20)
+	if res2.Compiled || addr2 != addr {
+		t.Fatalf("second call recompiled or moved: %+v", res2)
+	}
+}
+
+func TestJITTierUpRelocates(t *testing.T) {
+	cfg := defaultJITCfg()
+	cfg.TierUpCalls = 5
+	var log EventLog
+	j, _ := NewJIT(cfg, &log, rng.New(2))
+	firstAddr, _, _ := j.Call(3, 0)
+	var reloc CallResult
+	var newAddr uint64
+	for i := 0; i < 10; i++ {
+		a, _, res := j.Call(3, uint64(i+1))
+		if res.Relocated {
+			reloc = res
+			newAddr = a
+		}
+	}
+	if !reloc.Relocated {
+		t.Fatal("hot method should tier-up and relocate")
+	}
+	if newAddr == firstAddr {
+		t.Fatal("relocation must assign a new address")
+	}
+	if reloc.OldAddr != firstAddr {
+		t.Fatalf("OldAddr = %x, want original %x", reloc.OldAddr, firstAddr)
+	}
+	if j.Relocations != 1 {
+		t.Fatalf("relocations = %d", j.Relocations)
+	}
+	// Tier-1 methods don't relocate again.
+	before := j.Relocations
+	for i := 0; i < 20; i++ {
+		j.Call(3, 100+uint64(i))
+	}
+	if j.Relocations != before {
+		t.Fatal("method relocated more than once")
+	}
+}
+
+func TestJITNoRelocationAblation(t *testing.T) {
+	cfg := defaultJITCfg()
+	cfg.TierUpCalls = 5
+	cfg.RelocationEnabled = false
+	j, _ := NewJIT(cfg, nil, rng.New(3))
+	firstAddr, _, _ := j.Call(0, 0)
+	for i := 0; i < 10; i++ {
+		a, _, res := j.Call(0, uint64(i+1))
+		if res.Relocated {
+			t.Fatal("relocation disabled but method moved")
+		}
+		if a != firstAddr {
+			t.Fatal("address changed without relocation")
+		}
+	}
+	if j.Relocations != 0 {
+		t.Fatal("relocations counted in ablation mode")
+	}
+}
+
+func TestJITAddressesDisjoint(t *testing.T) {
+	j, _ := NewJIT(defaultJITCfg(), nil, rng.New(4))
+	type span struct{ lo, hi uint64 }
+	var spans []span
+	for i := 0; i < j.MethodCount(); i++ {
+		addr, size, _ := j.Call(i, uint64(i))
+		spans = append(spans, span{addr, addr + uint64(size)})
+	}
+	for i := range spans {
+		for k := i + 1; k < len(spans); k++ {
+			if spans[i].lo < spans[k].hi && spans[k].lo < spans[i].hi {
+				t.Fatalf("methods %d and %d overlap", i, k)
+			}
+		}
+	}
+	base, next := j.CodeRegion()
+	if next-base != j.CompiledBytes() || j.CompiledBytes() == 0 {
+		t.Fatal("code region accounting wrong")
+	}
+}
+
+func TestJITValidation(t *testing.T) {
+	if _, err := NewJIT(JITConfig{MethodCount: 0, CodeBytes: 100}, nil, rng.New(1)); err == nil {
+		t.Fatal("zero methods accepted")
+	}
+	if _, err := NewJIT(JITConfig{MethodCount: 100, CodeBytes: 100}, nil, rng.New(1)); err == nil {
+		t.Fatal("tiny code footprint accepted")
+	}
+}
+
+func TestHeapConfigValidation(t *testing.T) {
+	if _, err := NewHeap(HeapConfig{MaxBytes: 0}, nil); err == nil {
+		t.Fatal("zero heap accepted")
+	}
+	if _, err := NewHeap(HeapConfig{MaxBytes: 100, LiveSetBytes: -1}, nil); err == nil {
+		t.Fatal("negative live set accepted")
+	}
+}

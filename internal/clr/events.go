@@ -1,0 +1,82 @@
+// Package clr simulates the managed runtime underneath every .NET and
+// ASP.NET workload in this reproduction: a generational garbage-collected
+// heap with workstation and server collection modes, a JIT compiler whose
+// code-page allocation and relocation drive the frontend cold-start
+// effects of §VII-A1, and an event log equivalent to the LTTng runtime
+// traces of §VII (GC/Triggered, GC/AllocationTick, Method/JittingStarted,
+// Exception/Start, Contention/Start).
+package clr
+
+import "fmt"
+
+// EventKind identifies a runtime trace event, mirroring the run-time event
+// rows of Table I.
+type EventKind int
+
+const (
+	// EvGCTriggered fires when a garbage collection starts.
+	EvGCTriggered EventKind = iota
+	// EvAllocationTick fires once per allocation-tick quantum (the real
+	// CLR raises it every ~100KB of allocation).
+	EvAllocationTick
+	// EvJITStarted fires when a method begins JIT compilation.
+	EvJITStarted
+	// EvException fires on exception dispatch.
+	EvException
+	// EvContention fires when a thread contends on a monitor.
+	EvContention
+
+	eventKinds
+)
+
+// String returns the LTTng-style event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvGCTriggered:
+		return "GC/Triggered"
+	case EvAllocationTick:
+		return "GC/AllocationTick"
+	case EvJITStarted:
+		return "Method/JittingStarted"
+	case EvException:
+		return "Exception/Start"
+	case EvContention:
+		return "Contention/Start"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// EventKindCount is the number of distinct runtime event kinds.
+const EventKindCount = int(eventKinds)
+
+// Event is one timestamped runtime event. Cycle is the core cycle at which
+// the event was raised (the simulator's clock, standing in for the LTTng
+// wall-clock timestamp).
+type Event struct {
+	Kind  EventKind
+	Cycle uint64
+}
+
+// EventLog accumulates runtime events and per-kind totals. The full
+// sequence is retained so the trace sampler can rebuild time series; for
+// metric normalization only the counts matter.
+type EventLog struct {
+	Events []Event
+	counts [EventKindCount]uint64
+}
+
+// Emit appends an event at the given cycle.
+func (l *EventLog) Emit(kind EventKind, cycle uint64) {
+	l.Events = append(l.Events, Event{Kind: kind, Cycle: cycle})
+	l.counts[kind]++
+}
+
+// Count returns the number of events of the given kind.
+func (l *EventLog) Count(kind EventKind) uint64 { return l.counts[kind] }
+
+// Reset clears the log.
+func (l *EventLog) Reset() {
+	l.Events = l.Events[:0]
+	l.counts = [EventKindCount]uint64{}
+}

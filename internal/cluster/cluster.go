@@ -1,0 +1,331 @@
+// Package cluster implements agglomerative hierarchical clustering over
+// workload feature vectors (the top principal components from package pca),
+// reproducing the paper's §IV-B methodology: workloads with the shortest
+// linkage distance merge recursively into a dendrogram (Fig 1), and a
+// representative subset is formed by cutting the tree at a level with k
+// nodes and picking one leaf per node.
+//
+// The implementation is the nearest-neighbor-chain algorithm with
+// Lance-Williams distance updates: O(n²) time and memory, which is what
+// makes clustering all 2906 individual .NET microbenchmarks (the paper's
+// Subset B analysis) practical.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Linkage selects how inter-cluster distance is computed.
+type Linkage int
+
+const (
+	// Average linkage (UPGMA): mean pairwise distance. The paper's
+	// linkage-distance tables behave like average linkage; it is the
+	// default throughout this reproduction.
+	Average Linkage = iota
+	// Complete linkage: maximum pairwise distance.
+	Complete
+	// Single linkage: minimum pairwise distance.
+	Single
+	// Ward linkage: minimize within-cluster variance increase.
+	Ward
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Average:
+		return "average"
+	case Complete:
+		return "complete"
+	case Single:
+		return "single"
+	case Ward:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Node is one node of the dendrogram. Leaves have Leaf >= 0 and nil
+// children; internal nodes record the linkage distance at which their two
+// children merged.
+type Node struct {
+	Leaf        int // leaf index into the input data, or -1 for internal nodes
+	Left, Right *Node
+	Distance    float64 // merge distance (0 for leaves)
+	Size        int     // number of leaves under this node
+}
+
+// IsLeaf reports whether the node is a leaf.
+func (n *Node) IsLeaf() bool { return n.Leaf >= 0 }
+
+// Leaves returns the leaf indices under n in left-to-right dendrogram
+// order, iteratively (the tree can be thousands of nodes deep for chained
+// data, so recursion is avoided).
+func (n *Node) Leaves() []int {
+	var out []int
+	stack := []*Node{n}
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if m == nil {
+			continue
+		}
+		if m.IsLeaf() {
+			out = append(out, m.Leaf)
+			continue
+		}
+		// Right pushed first so left is visited first.
+		stack = append(stack, m.Right, m.Left)
+	}
+	return out
+}
+
+// Dendrogram is the result of hierarchical clustering.
+type Dendrogram struct {
+	Root   *Node
+	Merges []Merge // sorted by ascending merge distance
+	N      int     // number of leaves
+}
+
+// Merge records one agglomeration step.
+type Merge struct {
+	A, B     *Node
+	Distance float64
+}
+
+// Agglomerate clusters the given observations (rows of equal length) with
+// the chosen linkage and returns the dendrogram. It panics on ragged input
+// and returns an error for fewer than one observation.
+func Agglomerate(obs [][]float64, linkage Linkage) (*Dendrogram, error) {
+	n := len(obs)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no observations")
+	}
+	dim := len(obs[0])
+	for _, o := range obs {
+		if len(o) != dim {
+			panic("cluster: ragged observations")
+		}
+	}
+	if n == 1 {
+		root := &Node{Leaf: 0, Size: 1}
+		return &Dendrogram{Root: root, N: 1}, nil
+	}
+
+	// Flat distance matrix over cluster slots 0..n-1. Slot i initially
+	// holds leaf i; merges reuse the smaller slot id.
+	dist := make([]float64, n*n)
+	at := func(i, j int) float64 { return dist[i*n+j] }
+	set := func(i, j int, v float64) { dist[i*n+j] = v; dist[j*n+i] = v }
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 0.0
+			for k := 0; k < dim; k++ {
+				d := obs[i][k] - obs[j][k]
+				s += d * d
+			}
+			d := math.Sqrt(s)
+			if linkage == Ward {
+				d = d * d / 2
+			}
+			set(i, j, d)
+		}
+	}
+
+	nodes := make([]*Node, n)
+	sizes := make([]int, n)
+	active := make([]bool, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = &Node{Leaf: i, Size: 1}
+		sizes[i] = 1
+		active[i] = true
+	}
+	remaining := n
+
+	// Nearest-neighbor chain. All four supported linkages are reducible,
+	// so reciprocal nearest neighbors can be merged immediately and the
+	// resulting dendrogram is exact.
+	chain := make([]int, 0, n)
+	var merges []Merge
+
+	nearest := func(i int) (int, float64) {
+		best, bestD := -1, math.Inf(1)
+		row := dist[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			if j == i || !active[j] {
+				continue
+			}
+			if d := row[j]; d < bestD || (d == bestD && (best == -1 || j < best)) {
+				best, bestD = j, d
+			}
+		}
+		return best, bestD
+	}
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			// Start a new chain at the lowest active slot.
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		for {
+			tip := chain[len(chain)-1]
+			nn, d := nearest(tip)
+			if len(chain) >= 2 && nn == chain[len(chain)-2] {
+				// Reciprocal nearest neighbors: merge tip and nn.
+				a, b := nn, tip
+				if a > b {
+					a, b = b, a
+				}
+				chain = chain[:len(chain)-2]
+
+				mergedDist := d
+				if linkage == Ward {
+					mergedDist = math.Sqrt(2 * d)
+				}
+				node := &Node{
+					Leaf:     -1,
+					Left:     nodes[a],
+					Right:    nodes[b],
+					Distance: mergedDist,
+					Size:     sizes[a] + sizes[b],
+				}
+				merges = append(merges, Merge{A: nodes[a], B: nodes[b], Distance: mergedDist})
+
+				// Lance-Williams update into slot a.
+				na, nb := float64(sizes[a]), float64(sizes[b])
+				dab := at(a, b)
+				for x := 0; x < n; x++ {
+					if !active[x] || x == a || x == b {
+						continue
+					}
+					dax, dbx := at(a, x), at(b, x)
+					var nd float64
+					switch linkage {
+					case Single:
+						nd = math.Min(dax, dbx)
+					case Complete:
+						nd = math.Max(dax, dbx)
+					case Average:
+						nd = (na*dax + nb*dbx) / (na + nb)
+					case Ward:
+						nx := float64(sizes[x])
+						nd = ((na+nx)*dax + (nb+nx)*dbx - nx*dab) / (na + nb + nx)
+					}
+					set(a, x, nd)
+				}
+				nodes[a] = node
+				sizes[a] += sizes[b]
+				active[b] = false
+				remaining--
+				break
+			}
+			chain = append(chain, nn)
+		}
+	}
+
+	var root *Node
+	for i := 0; i < n; i++ {
+		if active[i] {
+			root = nodes[i]
+			break
+		}
+	}
+	sort.SliceStable(merges, func(i, j int) bool { return merges[i].Distance < merges[j].Distance })
+	return &Dendrogram{Root: root, Merges: merges, N: n}, nil
+}
+
+// Cut returns k clusters by undoing the k-1 highest-distance merges, i.e.
+// cutting the tree at the level with k nodes (the paper's "picking one
+// benchmark from each of the nodes at a given level"). Each cluster is a
+// sorted slice of leaf indices. k is clamped to [1, N].
+func (d *Dendrogram) Cut(k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	if k > d.N {
+		k = d.N
+	}
+	// Collect cluster roots: start from the dendrogram root and repeatedly
+	// split the node with the largest merge distance until k roots remain.
+	roots := []*Node{d.Root}
+	for len(roots) < k {
+		bestIdx := -1
+		bestDist := math.Inf(-1)
+		for i, r := range roots {
+			if !r.IsLeaf() && r.Distance > bestDist {
+				bestDist = r.Distance
+				bestIdx = i
+			}
+		}
+		if bestIdx == -1 {
+			break // all leaves
+		}
+		nd := roots[bestIdx]
+		roots = append(roots[:bestIdx], roots[bestIdx+1:]...)
+		roots = append(roots, nd.Left, nd.Right)
+	}
+	clusters := make([][]int, len(roots))
+	for i, r := range roots {
+		leaves := r.Leaves()
+		sort.Ints(leaves)
+		clusters[i] = leaves
+	}
+	// Deterministic order: by smallest leaf index.
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a][0] < clusters[b][0] })
+	return clusters
+}
+
+// Representatives picks one leaf per cluster of a k-cut: the medoid (the
+// leaf closest to the cluster centroid in the supplied feature space).
+// A deterministic pick keeps the generated Table IV stable run to run; the
+// paper picked randomly when several choices were equivalent, and the
+// medoid is a principled stand-in for that choice.
+func (d *Dendrogram) Representatives(obs [][]float64, k int) []int {
+	clusters := d.Cut(k)
+	reps := make([]int, len(clusters))
+	for i, cl := range clusters {
+		dim := len(obs[0])
+		centroid := make([]float64, dim)
+		for _, leaf := range cl {
+			for j := 0; j < dim; j++ {
+				centroid[j] += obs[leaf][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(len(cl))
+		}
+		best, bestD := cl[0], math.Inf(1)
+		for _, leaf := range cl {
+			s := 0.0
+			for j := 0; j < dim; j++ {
+				diff := obs[leaf][j] - centroid[j]
+				s += diff * diff
+			}
+			if s < bestD {
+				best, bestD = leaf, s
+			}
+		}
+		reps[i] = best
+	}
+	sort.Ints(reps)
+	return reps
+}
+
+// CopheneticHeights returns the merge distances in ascending order —
+// useful for verifying linkage monotonicity.
+func (d *Dendrogram) CopheneticHeights() []float64 {
+	out := make([]float64, len(d.Merges))
+	for i, m := range d.Merges {
+		out[i] = m.Distance
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// twoBlobs generates n points split into two well-separated groups.
+func twoBlobs(seed uint64, n int) ([][]float64, []int) {
+	r := rng.New(seed)
+	obs := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range obs {
+		label := i % 2
+		center := float64(label) * 100
+		obs[i] = []float64{center + r.NormFloat64(), center + r.NormFloat64()}
+		labels[i] = label
+	}
+	return obs, labels
+}
+
+func TestAgglomerateEmpty(t *testing.T) {
+	if _, err := Agglomerate(nil, Average); err == nil {
+		t.Fatal("expected error for no observations")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	d, err := Agglomerate([][]float64{{1, 2}}, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Root.IsLeaf() || d.Root.Leaf != 0 {
+		t.Fatal("single observation should be a leaf root")
+	}
+	cl := d.Cut(1)
+	if len(cl) != 1 || len(cl[0]) != 1 {
+		t.Fatalf("Cut(1) = %v", cl)
+	}
+}
+
+func TestTwoBlobsSeparate(t *testing.T) {
+	for _, lk := range []Linkage{Average, Complete, Single, Ward} {
+		obs, labels := twoBlobs(1, 20)
+		d, err := Agglomerate(obs, lk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters := d.Cut(2)
+		if len(clusters) != 2 {
+			t.Fatalf("%v: Cut(2) returned %d clusters", lk, len(clusters))
+		}
+		for _, cl := range clusters {
+			want := labels[cl[0]]
+			for _, leaf := range cl {
+				if labels[leaf] != want {
+					t.Fatalf("%v: cluster mixes blobs: %v", lk, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestLeavesCoverAll(t *testing.T) {
+	obs, _ := twoBlobs(2, 15)
+	d, _ := Agglomerate(obs, Average)
+	leaves := d.Root.Leaves()
+	if len(leaves) != 15 {
+		t.Fatalf("root has %d leaves", len(leaves))
+	}
+	seen := make(map[int]bool)
+	for _, l := range leaves {
+		if seen[l] {
+			t.Fatalf("duplicate leaf %d", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestCutPartitionProperty(t *testing.T) {
+	// Any cut must be a partition of all leaves.
+	prop := func(seed uint64, kRaw uint8) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(30)
+		obs := make([][]float64, n)
+		for i := range obs {
+			obs[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+		}
+		d, err := Agglomerate(obs, Average)
+		if err != nil {
+			return false
+		}
+		k := 1 + int(kRaw)%n
+		clusters := d.Cut(k)
+		if len(clusters) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, cl := range clusters {
+			for _, leaf := range cl {
+				if leaf < 0 || leaf >= n || seen[leaf] {
+					return false
+				}
+				seen[leaf] = true
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeCount(t *testing.T) {
+	obs, _ := twoBlobs(3, 12)
+	d, _ := Agglomerate(obs, Average)
+	if len(d.Merges) != 11 {
+		t.Fatalf("expected n-1=11 merges, got %d", len(d.Merges))
+	}
+	if d.Root.Size != 12 {
+		t.Fatalf("root size = %d", d.Root.Size)
+	}
+}
+
+func TestMonotoneLinkageProperty(t *testing.T) {
+	// Average, complete and Ward linkage are monotone: merge distances
+	// never decrease.
+	for _, lk := range []Linkage{Average, Complete, Ward} {
+		prop := func(seed uint64) bool {
+			r := rng.New(seed)
+			n := 3 + r.Intn(25)
+			obs := make([][]float64, n)
+			for i := range obs {
+				obs[i] = []float64{r.NormFloat64() * 5, r.NormFloat64() * 5}
+			}
+			d, err := Agglomerate(obs, lk)
+			if err != nil {
+				return false
+			}
+			h := d.CopheneticHeights()
+			for i := 1; i < len(h); i++ {
+				if h[i] < h[i-1]-1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("%v linkage: %v", lk, err)
+		}
+	}
+}
+
+func TestCutClamping(t *testing.T) {
+	obs, _ := twoBlobs(4, 6)
+	d, _ := Agglomerate(obs, Average)
+	if got := len(d.Cut(0)); got != 1 {
+		t.Fatalf("Cut(0) -> %d clusters", got)
+	}
+	if got := len(d.Cut(100)); got != 6 {
+		t.Fatalf("Cut(100) -> %d clusters", got)
+	}
+}
+
+func TestRepresentativesOnePerCluster(t *testing.T) {
+	obs, labels := twoBlobs(5, 30)
+	d, _ := Agglomerate(obs, Average)
+	reps := d.Representatives(obs, 2)
+	if len(reps) != 2 {
+		t.Fatalf("reps = %v", reps)
+	}
+	if labels[reps[0]] == labels[reps[1]] {
+		t.Fatalf("representatives came from the same blob: %v", reps)
+	}
+}
+
+func TestRepresentativeIsMedoid(t *testing.T) {
+	// A tight cluster at origin plus one distant outlier inside the same
+	// cut cluster: the representative must be the central point.
+	obs := [][]float64{{0, 0}, {0.1, 0}, {-0.1, 0}, {0, 0.1}}
+	d, _ := Agglomerate(obs, Average)
+	reps := d.Representatives(obs, 1)
+	if len(reps) != 1 {
+		t.Fatalf("reps = %v", reps)
+	}
+	// Point 0 is nearest the centroid (0, 0.025).
+	if reps[0] != 0 && reps[0] != 3 {
+		t.Fatalf("unexpected medoid %d", reps[0])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	obs, _ := twoBlobs(6, 20)
+	d1, _ := Agglomerate(obs, Average)
+	d2, _ := Agglomerate(obs, Average)
+	c1, c2 := d1.Cut(5), d2.Cut(5)
+	if len(c1) != len(c2) {
+		t.Fatal("nondeterministic cut size")
+	}
+	for i := range c1 {
+		if len(c1[i]) != len(c2[i]) {
+			t.Fatal("nondeterministic clustering")
+		}
+		for j := range c1[i] {
+			if c1[i][j] != c2[i][j] {
+				t.Fatal("nondeterministic clustering")
+			}
+		}
+	}
+}
+
+func TestRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged input")
+		}
+	}()
+	_, _ = Agglomerate([][]float64{{1, 2}, {3}}, Average)
+}
+
+func TestLinkageString(t *testing.T) {
+	cases := map[Linkage]string{Average: "average", Complete: "complete", Single: "single", Ward: "ward"}
+	for lk, want := range cases {
+		if lk.String() != want {
+			t.Fatalf("%d.String() = %q", int(lk), lk.String())
+		}
+	}
+	if Linkage(42).String() != "Linkage(42)" {
+		t.Fatal("unknown linkage String")
+	}
+}
+
+func TestSingleLinkageChainEffect(t *testing.T) {
+	// Points in a line: single linkage chains them; cutting at 2 must
+	// still produce a valid partition with both clusters non-empty.
+	obs := [][]float64{{0}, {1}, {2}, {3}, {10}}
+	d, _ := Agglomerate(obs, Single)
+	clusters := d.Cut(2)
+	if len(clusters) != 2 {
+		t.Fatalf("Cut(2) = %v", clusters)
+	}
+	// The outlier 10 must be alone.
+	for _, cl := range clusters {
+		if len(cl) == 1 && cl[0] != 4 {
+			t.Fatalf("singleton cluster should be the outlier, got %v", cl)
+		}
+	}
+}
+
+func TestWardSeparatesUnequalVariance(t *testing.T) {
+	r := rng.New(9)
+	var obs [][]float64
+	for i := 0; i < 20; i++ {
+		obs = append(obs, []float64{r.NormFloat64() * 0.5})
+	}
+	for i := 0; i < 20; i++ {
+		obs = append(obs, []float64{50 + r.NormFloat64()*0.5})
+	}
+	d, _ := Agglomerate(obs, Ward)
+	clusters := d.Cut(2)
+	for _, cl := range clusters {
+		first := cl[0] < 20
+		for _, leaf := range cl {
+			if (leaf < 20) != first {
+				t.Fatal("Ward mixed the two groups")
+			}
+		}
+	}
+}
+
+func TestLargeInputScales(t *testing.T) {
+	// The paper's Subset B clusters all 2906 individual workloads; the
+	// NN-chain implementation must handle that size in seconds.
+	r := rng.New(77)
+	n := 3000
+	obs := make([][]float64, n)
+	for i := range obs {
+		obs[i] = []float64{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	}
+	d, err := Agglomerate(obs, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != n || len(d.Merges) != n-1 {
+		t.Fatalf("dendrogram shape N=%d merges=%d", d.N, len(d.Merges))
+	}
+	clusters := d.Cut(64)
+	if len(clusters) != 64 {
+		t.Fatalf("Cut(64) gave %d clusters", len(clusters))
+	}
+	total := 0
+	for _, cl := range clusters {
+		total += len(cl)
+	}
+	if total != n {
+		t.Fatalf("cut covers %d of %d leaves", total, n)
+	}
+	reps := d.Representatives(obs, 64)
+	if len(reps) != 64 {
+		t.Fatalf("reps %d", len(reps))
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// A line of points produces a maximally unbalanced tree under single
+	// linkage; Leaves() must handle it iteratively.
+	n := 5000
+	obs := make([][]float64, n)
+	for i := range obs {
+		obs[i] = []float64{float64(i)}
+	}
+	d, err := Agglomerate(obs, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := d.Root.Leaves()
+	if len(leaves) != n {
+		t.Fatalf("got %d leaves", len(leaves))
+	}
+}

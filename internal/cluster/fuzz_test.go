@@ -1,0 +1,61 @@
+package cluster
+
+import "testing"
+
+// FuzzAgglomerate builds observation sets from fuzz bytes and checks the
+// structural invariants of every linkage: n-1 merges, root covers all
+// leaves, every cut is a partition.
+func FuzzAgglomerate(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(0), uint8(3))
+	f.Add([]byte{255, 0, 255, 0}, uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, linkByte, kByte uint8) {
+		if len(data) < 2 {
+			return
+		}
+		dim := 1 + int(data[0])%3
+		var obs [][]float64
+		for i := 1; i+dim <= len(data) && len(obs) < 40; i += dim {
+			row := make([]float64, dim)
+			for j := 0; j < dim; j++ {
+				row[j] = float64(data[i+j])
+			}
+			obs = append(obs, row)
+		}
+		if len(obs) == 0 {
+			return
+		}
+		linkage := Linkage(int(linkByte) % 4)
+		d, err := Agglomerate(obs, linkage)
+		if err != nil {
+			t.Fatalf("agglomerate failed: %v", err)
+		}
+		if d.N != len(obs) {
+			t.Fatalf("N = %d, want %d", d.N, len(obs))
+		}
+		if len(d.Merges) != len(obs)-1 {
+			t.Fatalf("merges = %d, want %d", len(d.Merges), len(obs)-1)
+		}
+		leaves := d.Root.Leaves()
+		if len(leaves) != len(obs) {
+			t.Fatalf("root covers %d leaves, want %d", len(leaves), len(obs))
+		}
+		k := 1 + int(kByte)%len(obs)
+		clusters := d.Cut(k)
+		seen := make(map[int]bool)
+		for _, cl := range clusters {
+			for _, leaf := range cl {
+				if leaf < 0 || leaf >= len(obs) || seen[leaf] {
+					t.Fatalf("cut is not a partition: %v", clusters)
+				}
+				seen[leaf] = true
+			}
+		}
+		if len(seen) != len(obs) {
+			t.Fatalf("cut covers %d of %d leaves", len(seen), len(obs))
+		}
+		reps := d.Representatives(obs, k)
+		if len(reps) != len(clusters) {
+			t.Fatalf("representatives %d vs clusters %d", len(reps), len(clusters))
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package core is the paper's primary contribution as a library: the
+// end-to-end characterization pipeline. It measures a suite of workloads
+// on a machine model (collecting the 24 Table I metrics for each), runs
+// PCA over the standardized metric matrix, hierarchically clusters the
+// workloads in the top-principal-component space, extracts a
+// representative subset, and validates that subset with SPECspeed-style
+// composite scores across two machines — exactly the §IV flow, plus the
+// §V suite-comparison helpers built on the same pieces.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/pca"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Measurement pairs a workload with its measured metric vector.
+type Measurement struct {
+	Workload workload.Profile
+	Vector   metrics.Vector
+	Result   *sim.Result
+	// Err records per-workload failures (e.g. OutOfMemory under a small
+	// heap cap); failed measurements carry a zero vector.
+	Err error
+}
+
+// MeasureSuite runs every workload of a suite on the machine and collects
+// normalized metric vectors. Workloads run concurrently (they are
+// independent processes in the paper's methodology); results are ordered
+// and deterministic regardless of scheduling.
+func MeasureSuite(ps []workload.Profile, m *machine.Config, opts sim.Options) []Measurement {
+	out := make([]Measurement, len(ps))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				p := ps[i]
+				res, err := sim.Run(p, m, opts)
+				if err != nil {
+					out[i] = Measurement{Workload: p, Err: err}
+					continue
+				}
+				v, err := perf.Normalize(res)
+				if err != nil {
+					out[i] = Measurement{Workload: p, Err: err}
+					continue
+				}
+				out[i] = Measurement{Workload: p, Vector: v, Result: res}
+			}
+		}()
+	}
+	for i := range ps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// Vectors extracts the metric vectors of successful measurements along
+// with their indices into the original slice.
+func Vectors(ms []Measurement) (vs []metrics.Vector, idx []int) {
+	for i, m := range ms {
+		if m.Err == nil {
+			vs = append(vs, m.Vector)
+			idx = append(idx, i)
+		}
+	}
+	return vs, idx
+}
+
+// Characterization is the fitted §IV model for one suite.
+type Characterization struct {
+	Measurements []Measurement
+	PCA          *pca.Result
+	TopPCs       int
+	Features     [][]float64 // workloads projected onto the top PCs
+	Dendrogram   *cluster.Dendrogram
+	Linkage      cluster.Linkage
+}
+
+// Characterize fits PCA on the 24-metric vectors, keeps the top topPCs
+// principal components (the paper uses four, covering ~79% of variance),
+// and hierarchically clusters the workloads in that space.
+func Characterize(ms []Measurement, topPCs int, linkage cluster.Linkage) (*Characterization, error) {
+	vs, _ := Vectors(ms)
+	if len(vs) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 successful measurements, got %d", len(vs))
+	}
+	fit, err := pca.Fit(metrics.Matrix(vs))
+	if err != nil {
+		return nil, fmt.Errorf("core: PCA failed: %w", err)
+	}
+	if topPCs <= 0 {
+		topPCs = 4
+	}
+	features := fit.TopScores(topPCs)
+	dend, err := cluster.Agglomerate(features, linkage)
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering failed: %w", err)
+	}
+	return &Characterization{
+		Measurements: ms,
+		PCA:          fit,
+		TopPCs:       topPCs,
+		Features:     features,
+		Dendrogram:   dend,
+		Linkage:      linkage,
+	}, nil
+}
+
+// Subset returns the representative subset of size k: the paper's
+// "pick one benchmark from each of the nodes at a given [tree] level",
+// with the medoid as the deterministic per-cluster pick. Returned indices
+// refer to the successful measurements in order.
+func (c *Characterization) Subset(k int) []int {
+	return c.Dendrogram.Representatives(c.Features, k)
+}
+
+// Clusters returns the k-cut cluster membership.
+func (c *Characterization) Clusters(k int) [][]int {
+	return c.Dendrogram.Cut(k)
+}
+
+// SubsetNames maps subset indices back to workload names.
+func (c *Characterization) SubsetNames(idx []int) []string {
+	vs := successful(c.Measurements)
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = vs[j].Workload.Name
+	}
+	return out
+}
+
+func successful(ms []Measurement) []Measurement {
+	var out []Measurement
+	for _, m := range ms {
+		if m.Err == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// GroupPCA runs PCA over a restricted metric group (the §V-C control-flow
+// or memory metrics) and returns each workload's coordinates on the top
+// two group components, for the Fig 5/6/7 scatter comparisons.
+func GroupPCA(vs []metrics.Vector, ids []metrics.ID) (*pca.Result, [][]float64, error) {
+	fit, err := pca.Fit(metrics.SelectMatrix(vs, ids))
+	if err != nil {
+		return nil, nil, err
+	}
+	return fit, fit.TopScores(2), nil
+}
+
+// SpreadRatio compares the dispersion of two suites in a shared PCA space:
+// it fits PCA on the concatenation, projects both, and returns the ratio
+// of per-component standard deviations (suite A over suite B) for the top
+// two components — the paper's "standard variation of SPEC CPU17 programs
+// is 5.73x that of the .NET" style numbers.
+func SpreadRatio(a, b []metrics.Vector, ids []metrics.ID) (ratioPC1, ratioPC2 float64, err error) {
+	all := append(append([]metrics.Vector{}, a...), b...)
+	fit, err := pca.Fit(metrics.SelectMatrix(all, ids))
+	if err != nil {
+		return 0, 0, err
+	}
+	scores := fit.TopScores(2)
+	var a1, a2, b1, b2 []float64
+	for i := range a {
+		a1 = append(a1, scores[i][0])
+		a2 = append(a2, scores[i][1])
+	}
+	for i := len(a); i < len(all); i++ {
+		b1 = append(b1, scores[i][0])
+		b2 = append(b2, scores[i][1])
+	}
+	sb1, sb2 := stats.StdDev(b1), stats.StdDev(b2)
+	if sb1 == 0 || sb2 == 0 {
+		return 0, 0, fmt.Errorf("core: degenerate spread in reference suite")
+	}
+	return stats.StdDev(a1) / sb1, stats.StdDev(a2) / sb2, nil
+}
+
+// ExecutionTimes extracts per-workload wall-clock times (seconds) from
+// measurements, the inputs to subset validation scores. Failed workloads
+// yield 0 and should be filtered by the caller.
+func ExecutionTimes(ms []Measurement) []float64 {
+	out := make([]float64, len(ms))
+	for i, m := range ms {
+		if m.Err == nil && m.Result != nil {
+			out[i] = m.Result.Counters.WallSeconds * m.Workload.InstructionScale
+		}
+	}
+	return out
+}

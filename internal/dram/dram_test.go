@@ -1,0 +1,154 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultValidates(t *testing.T) {
+	for _, base := range []int{0, 100, 220, 300} {
+		if err := Default(base).Validate(); err != nil {
+			t.Fatalf("Default(%d): %v", base, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Channels: 3, Banks: 16, RowBytes: 8192, RowHitLat: 1, RowMissLat: 2, RowConflictLat: 3},
+		{Channels: 2, Banks: 0, RowBytes: 8192, RowHitLat: 1, RowMissLat: 2, RowConflictLat: 3},
+		{Channels: 2, Banks: 16, RowBytes: 1000, RowHitLat: 1, RowMissLat: 2, RowConflictLat: 3},
+		{Channels: 2, Banks: 16, RowBytes: 8192, RowHitLat: 5, RowMissLat: 2, RowConflictLat: 3},
+		{Channels: 2, Banks: 16, RowBytes: 8192, RowHitLat: 1, RowMissLat: 2, RowConflictLat: 1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("New accepted case %d", i)
+		}
+	}
+}
+
+func TestSequentialStreamHitsRows(t *testing.T) {
+	c := mustNew(t, Default(220))
+	// Stream 64 KiB sequentially: after the first access to each row, the
+	// rest are row hits.
+	for addr := uint64(0); addr < 64*1024; addr += 64 {
+		c.Access(addr, false)
+	}
+	if c.Stats.PageMissRate() > 15 {
+		t.Fatalf("sequential stream row-miss rate %.1f%% too high", c.Stats.PageMissRate())
+	}
+}
+
+func TestRandomStreamMissesRows(t *testing.T) {
+	c := mustNew(t, Default(220))
+	r := rng.New(1)
+	for i := 0; i < 20000; i++ {
+		c.Access(uint64(r.Intn(1<<30))&^63, false)
+	}
+	if c.Stats.PageMissRate() < 60 {
+		t.Fatalf("random stream row-miss rate %.1f%% too low", c.Stats.PageMissRate())
+	}
+}
+
+func TestLatencyOrdering(t *testing.T) {
+	cfg := Default(220)
+	c := mustNew(t, cfg)
+	first := c.Access(0, false) // idle bank: row miss
+	if first != cfg.RowMissLat {
+		t.Fatalf("first access latency %d, want row miss %d", first, cfg.RowMissLat)
+	}
+	// addr 64 is the next line and maps to the other channel; addr 128 is
+	// the next line on channel 0, same row: a row hit.
+	second := c.Access(128, false)
+	if second != cfg.RowHitLat {
+		t.Fatalf("same-row latency %d, want %d", second, cfg.RowHitLat)
+	}
+	// A different row in the same bank conflicts. Same channel requires
+	// the same line-interleave bit; row differs, bank mapping must match:
+	// choose addr = row N with identical bank index. Bank is derived from
+	// the row, so scan for a conflicting address.
+	conflict := 0
+	for row := uint64(1); row < 4096; row++ {
+		addr := row * uint64(cfg.RowBytes)
+		lat := c.Access(addr, false)
+		if lat == cfg.RowConflictLat {
+			conflict++
+			break
+		}
+	}
+	if conflict == 0 {
+		t.Fatal("never observed a row conflict")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := mustNew(t, Default(220))
+	c.Access(0, false)
+	c.Access(64, true)
+	if c.Stats.Reads != 1 || c.Stats.Writes != 1 || c.Stats.Accesses() != 2 {
+		t.Fatalf("stats %+v", c.Stats)
+	}
+	if c.BytesRead() != 64 || c.BytesWritten() != 64 {
+		t.Fatal("byte accounting")
+	}
+	c.ResetStats()
+	if c.Stats.Accesses() != 0 {
+		t.Fatal("reset failed")
+	}
+	// Row state survives reset: next same-row access still hits.
+	if lat := c.Access(0, false); lat != Default(220).RowHitLat {
+		t.Fatalf("warm row lost on reset: lat %d", lat)
+	}
+}
+
+func TestPageMissRateBoundsProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		c, err := New(Default(220))
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		for i := 0; i < 500; i++ {
+			c.Access(uint64(r.Intn(1<<28)), r.Bool(0.3))
+		}
+		rate := c.Stats.PageMissRate()
+		hits := c.Stats.RowHits
+		misses := c.Stats.RowMisses + c.Stats.RowConflicts
+		return rate >= 0 && rate <= 100 && hits+misses == c.Stats.Accesses()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelSpreading(t *testing.T) {
+	// Adjacent lines land on different channels: a 2-line ping-pong between
+	// two rows would conflict on one channel but not across two.
+	cfg := Default(220)
+	c := mustNew(t, cfg)
+	a := uint64(0)     // channel 0
+	b := uint64(64)    // channel 1
+	c.Access(a, false) // miss
+	c.Access(b, false) // miss (different channel, idle bank)
+	if lat := c.Access(a+128, false); lat != cfg.RowHitLat {
+		t.Fatalf("same row/channel should hit, got %d", lat)
+	}
+	if lat := c.Access(b+128, false); lat != cfg.RowHitLat {
+		t.Fatalf("same row/other channel should hit, got %d", lat)
+	}
+}

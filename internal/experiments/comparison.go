@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// suiteBars is a labeled per-workload series for one metric across the
+// three Table IV subsets.
+type suiteBars struct {
+	Labels []string
+	Values []float64
+}
+
+// subsetVectors returns Table IV subset measurements for all three suites.
+func (l *Lab) subsetVectors() (dn, asp, spec []core.Measurement) {
+	m := machine.CoreI9()
+	dn = subsetMeasurements(l.DotNetCategories(m), TableIVDotNetSubset)
+	asp = subsetMeasurements(l.AspNet(m), TableIVAspNetSubset)
+	spec = subsetMeasurements(l.Spec(m), TableIVSpecSubset)
+	return dn, asp, spec
+}
+
+// Figure3Result reproduces Fig 3: the kernel-instruction fraction of each
+// benchmark in the three subsets.
+type Figure3Result struct {
+	DotNet, AspNet, Spec suiteBars
+}
+
+// Figure3 collects kernel-instruction shares.
+func Figure3(l *Lab) (*Figure3Result, error) {
+	dn, asp, spec := l.subsetVectors()
+	out := &Figure3Result{}
+	fill := func(ms []core.Measurement, dst *suiteBars) {
+		for _, m := range ms {
+			if m.Err != nil {
+				continue
+			}
+			dst.Labels = append(dst.Labels, m.Workload.Name)
+			dst.Values = append(dst.Values, m.Vector[metrics.KernelInstructions])
+		}
+	}
+	fill(dn, &out.DotNet)
+	fill(asp, &out.AspNet)
+	fill(spec, &out.Spec)
+	if len(out.DotNet.Values) == 0 || len(out.AspNet.Values) == 0 || len(out.Spec.Values) == 0 {
+		return nil, fmt.Errorf("experiments: figure 3 has an empty suite")
+	}
+	return out, nil
+}
+
+// Means returns the per-suite mean kernel shares.
+func (r *Figure3Result) Means() (dn, asp, spec float64) {
+	return stats.Mean(r.DotNet.Values), stats.Mean(r.AspNet.Values), stats.Mean(r.Spec.Values)
+}
+
+// String renders Fig 3.
+func (r *Figure3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 3: fraction of kernel instructions (%)\n")
+	b.WriteString(textplot.Bars(".NET", r.DotNet.Labels, r.DotNet.Values, 40))
+	b.WriteString(textplot.Bars("ASP.NET", r.AspNet.Labels, r.AspNet.Values, 40))
+	b.WriteString(textplot.Bars("SPEC CPU17", r.Spec.Labels, r.Spec.Values, 40))
+	dn, asp, spec := r.Means()
+	fmt.Fprintf(&b, "  means: ASP.NET %.1f%% > .NET %.1f%% > SPEC %.1f%%\n", asp, dn, spec)
+	return b.String()
+}
+
+// MixRow is one benchmark's instruction-type breakdown (Fig 4).
+type MixRow struct {
+	Name                       string
+	Branch, Load, Store, Other float64
+	KernelOfTotal, UserOfTotal float64
+	Suite                      string
+}
+
+// Figure4Result reproduces Fig 4: instruction-mix breakdown per benchmark,
+// plus the geomean loads/stores comparison the paper calls out (SPEC
+// 35.2% loads / 11.5% stores vs ~29% / ~16% for the managed suites).
+type Figure4Result struct {
+	Rows []MixRow
+
+	SpecLoadGM, ManagedLoadGM   float64
+	SpecStoreGM, ManagedStoreGM float64
+}
+
+// Figure4 collects instruction mixes.
+func Figure4(l *Lab) (*Figure4Result, error) {
+	dn, asp, spec := l.subsetVectors()
+	out := &Figure4Result{}
+	var specLoads, specStores, managedLoads, managedStores []float64
+	add := func(ms []core.Measurement, suite string) {
+		for _, m := range ms {
+			if m.Err != nil {
+				continue
+			}
+			v := m.Vector
+			row := MixRow{
+				Name:          m.Workload.Name,
+				Suite:         suite,
+				Branch:        v[metrics.BranchInstructions],
+				Load:          v[metrics.MemoryLoads],
+				Store:         v[metrics.MemoryStores],
+				KernelOfTotal: v[metrics.KernelInstructions],
+				UserOfTotal:   v[metrics.UserInstructions],
+			}
+			row.Other = 100 - row.Branch - row.Load - row.Store
+			out.Rows = append(out.Rows, row)
+			if suite == "SPEC CPU17" {
+				specLoads = append(specLoads, row.Load)
+				specStores = append(specStores, row.Store)
+			} else {
+				managedLoads = append(managedLoads, row.Load)
+				managedStores = append(managedStores, row.Store)
+			}
+		}
+	}
+	add(dn, ".NET")
+	add(asp, "ASP.NET")
+	add(spec, "SPEC CPU17")
+	out.SpecLoadGM = stats.GeoMean(specLoads)
+	out.ManagedLoadGM = stats.GeoMean(managedLoads)
+	out.SpecStoreGM = stats.GeoMean(specStores)
+	out.ManagedStoreGM = stats.GeoMean(managedStores)
+	return out, nil
+}
+
+// String renders Fig 4.
+func (r *Figure4Result) String() string {
+	rows := make([]string, 0, len(r.Rows))
+	segs := make([][]textplot.StackSegment, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, fmt.Sprintf("%-11s %s", row.Suite, row.Name))
+		segs = append(segs, []textplot.StackSegment{
+			{Name: "branch", Value: row.Branch},
+			{Name: "load", Value: row.Load},
+			{Name: "store", Value: row.Store},
+			{Name: "other", Value: row.Other},
+		})
+	}
+	out := textplot.StackedBars("Fig 4: instruction-type percentages", rows, segs, 50)
+	out += fmt.Sprintf("  loads GM:  SPEC %.1f%% vs managed %.1f%% (paper: 35.2%% vs ~29%%)\n",
+		r.SpecLoadGM, r.ManagedLoadGM)
+	out += fmt.Sprintf("  stores GM: SPEC %.1f%% vs managed %.1f%% (paper: 11.5%% vs ~16%%)\n",
+		r.SpecStoreGM, r.ManagedStoreGM)
+	return out
+}
+
+// ScatterCompareResult backs Figs 5 and 6: two suites plotted in shared
+// control-flow and memory PCA spaces, with the paper's spread ratios.
+type ScatterCompareResult struct {
+	Title string
+	// Suite A is SPEC in both figures; suite B is .NET (Fig 5) or
+	// ASP.NET (Fig 6).
+	NameA, NameB string
+
+	ControlA, ControlB [][]float64 // 2-PC coordinates
+	MemoryA, MemoryB   [][]float64
+
+	// Spread ratios σ(A)/σ(B) on PC1 of each space (the paper quotes
+	// control-flow 5.73x/4.73x and memory 1.71x/1.27x for Figs 5/6).
+	ControlSpreadPC1, ControlSpreadPC2 float64
+	MemorySpreadPC1, MemorySpreadPC2   float64
+}
+
+// scatterCompare builds a ScatterCompareResult from two measurement sets.
+func scatterCompare(title, nameA, nameB string, a, b []core.Measurement) (*ScatterCompareResult, error) {
+	va, _ := core.Vectors(a)
+	vb, _ := core.Vectors(b)
+	if len(va) < 2 || len(vb) < 2 {
+		return nil, fmt.Errorf("experiments: %s needs at least 2 workloads per suite", title)
+	}
+	out := &ScatterCompareResult{Title: title, NameA: nameA, NameB: nameB}
+
+	for _, grp := range []struct {
+		ids        []metrics.ID
+		dstA, dstB *[][]float64
+		r1, r2     *float64
+	}{
+		{metrics.ControlFlowIDs(), &out.ControlA, &out.ControlB, &out.ControlSpreadPC1, &out.ControlSpreadPC2},
+		{metrics.MemoryIDs(), &out.MemoryA, &out.MemoryB, &out.MemorySpreadPC1, &out.MemorySpreadPC2},
+	} {
+		all := append(append([]metrics.Vector{}, va...), vb...)
+		fit, scores, err := core.GroupPCA(all, grp.ids)
+		if err != nil {
+			return nil, err
+		}
+		_ = fit
+		*grp.dstA = scores[:len(va)]
+		*grp.dstB = scores[len(va):]
+		r1, r2, err := core.SpreadRatio(va, vb, grp.ids)
+		if err != nil {
+			return nil, err
+		}
+		*grp.r1, *grp.r2 = r1, r2
+	}
+	return out, nil
+}
+
+// Figure5 compares the .NET subset with the SPEC subset (paper: SPEC σ is
+// 5.73x in control flow, 1.71x in memory behavior).
+func Figure5(l *Lab) (*ScatterCompareResult, error) {
+	dn, _, spec := l.subsetVectors()
+	return scatterCompare("Fig 5: .NET vs SPEC CPU17", "SPEC CPU17", ".NET", spec, dn)
+}
+
+// Figure6 compares the ASP.NET subset with the SPEC subset (paper: SPEC σ
+// is 4.73x in control flow, 1.27x in memory behavior).
+func Figure6(l *Lab) (*ScatterCompareResult, error) {
+	_, asp, spec := l.subsetVectors()
+	return scatterCompare("Fig 6: ASP.NET vs SPEC CPU17", "SPEC CPU17", "ASP.NET", spec, asp)
+}
+
+// String renders the scatter comparison.
+func (r *ScatterCompareResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (glyph S = %s, glyph m = %s)\n", r.Title, r.NameA, r.NameB)
+	pts := func(a, bb [][]float64) []textplot.ScatterPoint {
+		var out []textplot.ScatterPoint
+		for _, p := range a {
+			out = append(out, textplot.ScatterPoint{X: p[0], Y: p[1], Glyph: 'S'})
+		}
+		for _, p := range bb {
+			out = append(out, textplot.ScatterPoint{X: p[0], Y: p[1], Glyph: 'm'})
+		}
+		return out
+	}
+	b.WriteString(textplot.Scatter("  control-flow PCA", pts(r.ControlA, r.ControlB), 14, 56))
+	fmt.Fprintf(&b, "  control-flow spread ratio (PC1, PC2): %.2fx, %.2fx\n", r.ControlSpreadPC1, r.ControlSpreadPC2)
+	b.WriteString(textplot.Scatter("  memory PCA", pts(r.MemoryA, r.MemoryB), 14, 56))
+	fmt.Fprintf(&b, "  memory spread ratio (PC1, PC2): %.2fx, %.2fx\n", r.MemorySpreadPC1, r.MemorySpreadPC2)
+	return b.String()
+}
+
+// Figure7Result reproduces Fig 7: the .NET subset measured on x86-64 vs
+// AArch64, compared in control-flow, memory and runtime-event PCA spaces,
+// plus the §V-D raw-ratio headline (Arm ~80x I-TLB MPKI, ~8x LLC MPKI).
+type Figure7Result struct {
+	ControlSpreadPC1, ControlSpreadPC2 float64 // σ(Arm)/σ(x86), paper 1.36/1.20
+	MemorySpreadPC1, MemorySpreadPC2   float64 // paper 1.19/2.32
+	RuntimeSpreadPC1, RuntimeSpreadPC2 float64 // paper 1.02/0.58
+
+	ITLBRatio float64 // GM(Arm)/GM(x86), paper ~80x
+	LLCRatio  float64 // paper ~8x
+}
+
+// Figure7 measures the .NET subset on both ISAs.
+func Figure7(l *Lab) (*Figure7Result, error) {
+	x86 := subsetMeasurements(l.DotNetCategories(machine.CoreI9()), TableIVDotNetSubset)
+	arm := subsetMeasurements(l.DotNetCategories(machine.Arm()), TableIVDotNetSubset)
+	vx, _ := core.Vectors(x86)
+	va, _ := core.Vectors(arm)
+	if len(vx) < 2 || len(va) < 2 {
+		return nil, fmt.Errorf("experiments: figure 7 needs both ISA measurements")
+	}
+	out := &Figure7Result{}
+	var err error
+	if out.ControlSpreadPC1, out.ControlSpreadPC2, err = core.SpreadRatio(va, vx, metrics.ControlFlowIDs()); err != nil {
+		return nil, err
+	}
+	if out.MemorySpreadPC1, out.MemorySpreadPC2, err = core.SpreadRatio(va, vx, metrics.MemoryIDs()); err != nil {
+		return nil, err
+	}
+	if out.RuntimeSpreadPC1, out.RuntimeSpreadPC2, err = core.SpreadRatio(va, vx, metrics.RuntimeIDs()); err != nil {
+		return nil, err
+	}
+	// Floor each value at the measurement-noise level before the geomean:
+	// several x86 subset categories measure 0 for these counters, and a
+	// ratio against zero is meaningless.
+	gm := func(vs []metrics.Vector, id metrics.ID, floor float64) float64 {
+		xs := make([]float64, len(vs))
+		for i, v := range vs {
+			xs[i] = v[id]
+			if xs[i] < floor {
+				xs[i] = floor
+			}
+		}
+		return stats.GeoMean(xs)
+	}
+	out.ITLBRatio = gm(va, metrics.ITLBMPKI, 0.005) / gm(vx, metrics.ITLBMPKI, 0.005)
+	out.LLCRatio = gm(va, metrics.LLCMPKI, 0.01) / gm(vx, metrics.LLCMPKI, 0.01)
+	return out, nil
+}
+
+// String renders Fig 7.
+func (r *Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7: x86-64 vs AArch64 (.NET subset); ratios are Arm/x86\n")
+	fmt.Fprintf(&b, "  control-flow spread: PC1 %.2fx, PC2 %.2fx (paper: 1.36x, 1.20x)\n", r.ControlSpreadPC1, r.ControlSpreadPC2)
+	fmt.Fprintf(&b, "  memory spread:       PC1 %.2fx, PC2 %.2fx (paper: 1.19x, 2.32x)\n", r.MemorySpreadPC1, r.MemorySpreadPC2)
+	fmt.Fprintf(&b, "  runtime spread:      PC1 %.2fx, PC2 %.2fx (paper: 1.02x, 0.58x)\n", r.RuntimeSpreadPC1, r.RuntimeSpreadPC2)
+	fmt.Fprintf(&b, "  raw GM ratios:       I-TLB MPKI %.1fx (paper ~80x), LLC MPKI %.1fx (paper ~8x)\n", r.ITLBRatio, r.LLCRatio)
+	return b.String()
+}
+
+// Figure8Result reproduces Fig 8: raw performance-counter comparisons with
+// the paper's headline geomeans.
+type Figure8Result struct {
+	// Per-suite geomeans for each plotted counter.
+	Metrics []metrics.ID
+	GM      map[string]map[metrics.ID]float64 // suite -> metric -> GM
+	Rows    map[string][]core.Measurement
+}
+
+// figure8Metrics are the counters Fig 8 plots.
+func figure8Metrics() []metrics.ID {
+	return []metrics.ID{
+		metrics.ITLBMPKI, metrics.L1IMPKI, metrics.BranchMPKI, metrics.CPI,
+		metrics.L1DMPKI, metrics.L2MPKI, metrics.LLCMPKI,
+	}
+}
+
+// Figure8 collects the counter comparison.
+func Figure8(l *Lab) (*Figure8Result, error) {
+	dn, asp, spec := l.subsetVectors()
+	out := &Figure8Result{
+		Metrics: figure8Metrics(),
+		GM:      map[string]map[metrics.ID]float64{},
+		Rows:    map[string][]core.Measurement{".NET": dn, "ASP.NET": asp, "SPEC CPU17": spec},
+	}
+	for suite, ms := range out.Rows {
+		vs, _ := core.Vectors(ms)
+		gms := map[metrics.ID]float64{}
+		for _, id := range out.Metrics {
+			xs := make([]float64, len(vs))
+			for i, v := range vs {
+				xs[i] = v[id]
+			}
+			gms[id] = stats.GeoMean(xs)
+		}
+		out.GM[suite] = gms
+	}
+	return out, nil
+}
+
+// String renders Fig 8 geomeans.
+func (r *Figure8Result) String() string {
+	header := []string{"metric", ".NET", "ASP.NET", "SPEC CPU17", "paper (ASP.NET vs SPEC)"}
+	notes := map[metrics.ID]string{
+		metrics.L1DMPKI: "15.9 vs 29",
+		metrics.L2MPKI:  "20.4 vs 11",
+		metrics.LLCMPKI: "0.16 vs 0.98",
+	}
+	var rows [][]string
+	for _, id := range r.Metrics {
+		rows = append(rows, []string{
+			id.Name(),
+			fmt.Sprintf("%.3g", r.GM[".NET"][id]),
+			fmt.Sprintf("%.3g", r.GM["ASP.NET"][id]),
+			fmt.Sprintf("%.3g", r.GM["SPEC CPU17"][id]),
+			notes[id],
+		})
+	}
+	return textplot.Table("Fig 8: performance-counter geomeans (x86-64)", header, rows)
+}

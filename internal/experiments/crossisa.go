@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/subset"
+	"repro/internal/textplot"
+)
+
+// CrossISAResult extends §V-D: is a representative subset chosen on x86
+// still representative when the target machine is the Arm server? The
+// paper hints the answer matters ("particularly when designing the new
+// Arm server processors") but never tests it; this experiment does.
+type CrossISAResult struct {
+	// X86Validation validates the x86-chosen subset on x86 scores
+	// (the Fig 2 setting).
+	X86Validation subset.Validation
+	// ArmValidation validates the SAME subset against Xeon→Arm scores: if
+	// the subset's coverage were ISA-specific, accuracy would collapse.
+	ArmValidation subset.Validation
+	// ArmNativeValidation validates a subset chosen by clustering the Arm
+	// measurements themselves (the best a subset can do on Arm).
+	ArmNativeValidation subset.Validation
+}
+
+// CrossISA runs the study on the 44 .NET categories.
+func CrossISA(l *Lab) (*CrossISAResult, error) {
+	baseM := machine.XeonE5()
+	x86M := machine.CoreI9()
+	armM := machine.Arm()
+
+	base := l.DotNetCategories(baseM)
+	x86 := l.DotNetCategories(x86M)
+	arm := l.DotNetCategories(armM)
+
+	x86Scores, err := machineScores(base, x86)
+	if err != nil {
+		return nil, err
+	}
+	armScores, err := machineScores(base, arm)
+	if err != nil {
+		return nil, err
+	}
+
+	chX86, err := core.Characterize(x86, 4, cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	selX86 := chX86.Subset(8)
+
+	chArm, err := core.Characterize(arm, 4, cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	selArm := chArm.Subset(8)
+
+	out := &CrossISAResult{
+		X86Validation:       subset.Validate("x86 subset on x86 scores", x86Scores, selX86),
+		ArmValidation:       subset.Validate("x86 subset on Arm scores", armScores, selX86),
+		ArmNativeValidation: subset.Validate("Arm-chosen subset on Arm scores", armScores, selArm),
+	}
+	return out, nil
+}
+
+// String renders the study.
+func (r *CrossISAResult) String() string {
+	var b strings.Builder
+	b.WriteString("Cross-ISA subset validity (extension): does an x86-derived subset transfer to Arm?\n")
+	header := []string{"validation", "full composite", "subset composite", "accuracy"}
+	var rows [][]string
+	for _, v := range []subset.Validation{r.X86Validation, r.ArmValidation, r.ArmNativeValidation} {
+		rows = append(rows, []string{
+			v.Name,
+			fmt.Sprintf("%.4f", v.FullComposite),
+			fmt.Sprintf("%.4f", v.SubsetComposite),
+			fmt.Sprintf("%.1f%%", v.AccuracyFraction*100),
+		})
+	}
+	b.WriteString(textplot.Table("", header, rows))
+	b.WriteString("  reading: a large x86->Arm accuracy drop would mean benchmark subsetting\n")
+	b.WriteString("  must be redone per ISA, a caveat for the paper's §VIII Arm guidance\n")
+	return b.String()
+}

@@ -1,0 +1,440 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// quickLab is shared across tests in this package: measurements are cached
+// inside, so the suite-level cost is paid once.
+var quickLab = NewLab(Quick())
+
+func TestTableIII(t *testing.T) {
+	res, err := TableIII(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Components) != 4 {
+		t.Fatalf("want 4 PRCOs, got %d", len(res.Components))
+	}
+	for k, loads := range res.Components {
+		if len(loads) != 3 {
+			t.Fatalf("PRCO%d: want top-3 loadings, got %d", k+1, len(loads))
+		}
+	}
+	// Variance must be descending and the top-4 must dominate (paper: 79%).
+	for k := 1; k < 4; k++ {
+		if res.Variance[k] > res.Variance[k-1]+1e-9 {
+			t.Fatal("PRCO variance not descending")
+		}
+	}
+	if res.CumVariance4 < 0.5 || res.CumVariance4 > 1 {
+		t.Fatalf("top-4 variance %.3f implausible", res.CumVariance4)
+	}
+	if s := res.String(); !strings.Contains(s, "PRCO1") {
+		t.Fatal("String misses PRCO1")
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	res, err := TableIV(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DotNet) != 8 || len(res.AspNet) != 8 || len(res.Spec) != 8 {
+		t.Fatalf("subset sizes %d/%d/%d, want 8 each", len(res.DotNet), len(res.AspNet), len(res.Spec))
+	}
+	if s := res.String(); !strings.Contains(s, "Table IV") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	res, err := Figure1(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dendrogram.N != 44 {
+		t.Fatalf("dendrogram over %d categories, want 44", res.Dendrogram.N)
+	}
+	if len(res.Subset) != 8 {
+		t.Fatalf("8-cut subset has %d members", len(res.Subset))
+	}
+	if s := res.String(); !strings.Contains(s, "System.Runtime") {
+		t.Fatal("labels missing from rendering")
+	}
+}
+
+func TestFigure2SubsetValidation(t *testing.T) {
+	res, err := Figure2(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Headline shape: the clustering-derived subsets reproduce the full
+	// composite well, and the exhaustive optimum is at least as good as
+	// subset A (paper: 98.7% / 96.3% / 99.9%).
+	if res.SubsetA.AccuracyFraction < 0.90 {
+		t.Fatalf("subset A accuracy %.3f, paper 0.987", res.SubsetA.AccuracyFraction)
+	}
+	if res.SubsetB.AccuracyFraction < 0.85 {
+		t.Fatalf("subset B accuracy %.3f, paper 0.963", res.SubsetB.AccuracyFraction)
+	}
+	if res.SubsetAO.AccuracyFraction+1e-9 < res.SubsetA.AccuracyFraction {
+		t.Fatalf("optimal subset (%.4f) must not lose to subset A (%.4f)",
+			res.SubsetAO.AccuracyFraction, res.SubsetA.AccuracyFraction)
+	}
+	if res.SubsetAO.AccuracyFraction < 0.97 {
+		t.Fatalf("optimal subset accuracy %.3f, paper 0.999", res.SubsetAO.AccuracyFraction)
+	}
+	if s := res.String(); !strings.Contains(s, "Subset A") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure3KernelOrdering(t *testing.T) {
+	res, err := Figure3(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, asp, spec := res.Means()
+	if !(asp > dn && dn > spec) {
+		t.Fatalf("kernel share ordering violated: asp=%.1f dotnet=%.1f spec=%.1f", asp, dn, spec)
+	}
+	if asp < 20 {
+		t.Fatalf("ASP.NET kernel share %.1f%% too low for the networking stack", asp)
+	}
+	if spec > 5 {
+		t.Fatalf("SPEC kernel share %.1f%% too high", spec)
+	}
+}
+
+func TestFigure4MixShape(t *testing.T) {
+	res, err := Figure4(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecLoadGM <= res.ManagedLoadGM {
+		t.Fatalf("SPEC loads GM %.1f should exceed managed %.1f (paper: 35.2 vs ~29)",
+			res.SpecLoadGM, res.ManagedLoadGM)
+	}
+	if res.SpecStoreGM >= res.ManagedStoreGM {
+		t.Fatalf("SPEC stores GM %.1f should be below managed %.1f (paper: 11.5 vs ~16)",
+			res.SpecStoreGM, res.ManagedStoreGM)
+	}
+	if len(res.Rows) != 24 {
+		t.Fatalf("expected 24 subset rows, got %d", len(res.Rows))
+	}
+}
+
+func TestFigure5And6Spread(t *testing.T) {
+	f5, err := Figure5(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SPEC is the wider suite in control-flow behavior (paper: 5.73x).
+	if f5.ControlSpreadPC1 <= 1 {
+		t.Fatalf("Fig 5 control spread %.2f should exceed 1", f5.ControlSpreadPC1)
+	}
+	f6, err := Figure6(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f6.ControlSpreadPC1 <= 1 {
+		t.Fatalf("Fig 6 control spread %.2f should exceed 1", f6.ControlSpreadPC1)
+	}
+	if !strings.Contains(f5.String(), "control-flow PCA") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure7ArmGap(t *testing.T) {
+	res, err := Figure7(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ITLBRatio < 3 {
+		t.Fatalf("Arm/x86 I-TLB GM ratio %.1f; paper ~80x, want at least a large gap", res.ITLBRatio)
+	}
+	// Quick fidelity only resolves the direction; the full sweep measures
+	// ~4x (EXPERIMENTS.md).
+	if res.LLCRatio <= 1 {
+		t.Fatalf("Arm/x86 LLC GM ratio %.1f; paper ~8x, want >1", res.LLCRatio)
+	}
+	if s := res.String(); !strings.Contains(s, "AArch64") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure8CounterShape(t *testing.T) {
+	res, err := Figure8(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := res.GM
+	// I-side: managed suites worse than SPEC (Fig 8 headline).
+	for _, id := range figure8Metrics()[:2] { // ITLB, L1I
+		if gm["ASP.NET"][id] <= gm["SPEC CPU17"][id]*0.5 {
+			t.Fatalf("%v: ASP.NET GM %.3f should rival/exceed SPEC %.3f",
+				id.Name(), gm["ASP.NET"][id], gm["SPEC CPU17"][id])
+		}
+	}
+	// D-side: SPEC leads on L1D and LLC; .NET micro lowest everywhere.
+	l1d := figure8Metrics()[4]
+	llc := figure8Metrics()[6]
+	if gm["SPEC CPU17"][l1d] <= gm[".NET"][l1d] {
+		t.Fatal("SPEC L1D GM should exceed .NET micro")
+	}
+	if gm["SPEC CPU17"][llc] <= gm[".NET"][llc] {
+		t.Fatal("SPEC LLC GM should exceed .NET micro")
+	}
+	if gm["ASP.NET"][llc] >= gm["SPEC CPU17"][llc]*5 {
+		t.Fatalf("ASP.NET LLC GM %.3f should not dwarf SPEC %.3f (paper: 0.16 vs 0.98)",
+			gm["ASP.NET"][llc], gm["SPEC CPU17"][llc])
+	}
+}
+
+func TestFigure9TopDownShape(t *testing.T) {
+	res, err := Figure9(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := res.SuiteMeans()
+	// Managed suites are notably frontend bound (paper's core claim).
+	if means["ASP.NET"].FrontendBound < means["SPEC CPU17"].FrontendBound {
+		t.Fatalf("ASP.NET FE %.1f%% should exceed SPEC %.1f%%",
+			means["ASP.NET"].FrontendBound, means["SPEC CPU17"].FrontendBound)
+	}
+	// Bad speculation is small for the managed suites.
+	if means[".NET"].BadSpeculation > 15 || means["ASP.NET"].BadSpeculation > 15 {
+		t.Fatalf("managed bad-speculation too high: %.1f / %.1f",
+			means[".NET"].BadSpeculation, means["ASP.NET"].BadSpeculation)
+	}
+	for s, m := range means {
+		sum := m.Retiring + m.BadSpeculation + m.FrontendBound + m.BackendBound
+		if sum < 99 || sum > 101 {
+			t.Fatalf("%s level-1 sums to %.1f", s, sum)
+		}
+	}
+}
+
+func TestFigure10Breakdowns(t *testing.T) {
+	res, err := Figure10(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	s := res.String()
+	for _, want := range []string{"FE_ICache", "MEM_L3", "frontend", "backend"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering misses %q", want)
+		}
+	}
+}
+
+func TestFigure11And12Scaling(t *testing.T) {
+	res, err := Figure11(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep := res.Sweep
+	_, l3Lo, _ := res.MeanAt(sweep[0])
+	_, l3Hi, llcHi := res.MeanAt(sweep[len(sweep)-1])
+	// Fig 12's core claim: L3-bound stall share grows with core count
+	// (slice-port/NoC contention raises LLC latency)...
+	if !(l3Hi > l3Lo) {
+		t.Fatalf("L3-bound should grow with cores: %.2f -> %.2f", l3Lo, l3Hi)
+	}
+	// ...while per-core LLC MPKI stays low, so the growth is latency, not
+	// miss volume.
+	if llcHi > 8 {
+		t.Fatalf("per-core LLC MPKI at max cores %.2f should stay low", llcHi)
+	}
+	// Overall pipeline pressure (CPI) grows with scale; note: in this
+	// model part of the contention surfaces as frontend I-side latency
+	// rather than backend (documented deviation in EXPERIMENTS.md).
+	var cpiLo, cpiHi []float64
+	for _, p := range res.Points {
+		if p.Cores == sweep[0] {
+			cpiLo = append(cpiLo, p.CPI)
+		}
+		if p.Cores == sweep[len(sweep)-1] {
+			cpiHi = append(cpiHi, p.CPI)
+		}
+	}
+	if meanFloat(cpiHi) <= meanFloat(cpiLo) {
+		t.Fatalf("CPI should grow with cores: %.2f -> %.2f", meanFloat(cpiLo), meanFloat(cpiHi))
+	}
+}
+
+func TestFigure13Correlations(t *testing.T) {
+	res, err := Figure13(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 13a: JIT events positively correlate with page faults (the
+	// strongest, most direct mechanism: fresh code pages fault in).
+	if r := res.MeanJIT(trace.SeriesPageFaults); r <= 0 {
+		t.Fatalf("JIT vs page faults r=%.3f, paper: positive", r)
+	}
+	// Fig 13b: GC events positively correlate with instructions executed
+	// (collector overhead) — the paper's well-explored overhead.
+	if r := res.MeanGC(trace.SeriesInstrs); r <= 0 {
+		t.Fatalf("GC vs instructions r=%.3f, paper: positive", r)
+	}
+	if s := res.String(); !strings.Contains(s, "JIT-start") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestFigure14GCComparison(t *testing.T) {
+	res, err := Figure14(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServerOverWorkstationGC < 2 {
+		t.Fatalf("server/ws GC trigger ratio %.2f, paper 6.18x", res.ServerOverWorkstationGC)
+	}
+	if res.ServerOverWorkstationLLC >= 1 {
+		t.Fatalf("server/ws LLC ratio %.2f should be < 1 (paper 0.59x)", res.ServerOverWorkstationLLC)
+	}
+	if res.ServerSpeedup <= 0.9 {
+		t.Fatalf("server speedup %.2f, paper 1.14x", res.ServerSpeedup)
+	}
+	if s := res.String(); !strings.Contains(s, "workstation") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func meanFloat(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestExtensionsWhatIf(t *testing.T) {
+	res, err := Extensions(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) < 4 {
+		t.Fatalf("expected deltas for every assist case, got %d", len(res.Deltas))
+	}
+	for _, d := range res.Deltas {
+		switch d.Assist {
+		case "jit-code-prefetch":
+			if d.L1IRatio >= 1 {
+				t.Fatalf("%s/%s: L1I ratio %.3f should be < 1", d.Assist, d.Workload, d.L1IRatio)
+			}
+		case "predictor-transform":
+			if d.BTBMissRatio >= 1 {
+				t.Fatalf("%s/%s: BTB ratio %.3f should be < 1", d.Assist, d.Workload, d.BTBMissRatio)
+			}
+		case "gc-offload":
+			if d.InstrRatio >= 1 {
+				t.Fatalf("%s/%s: instruction ratio %.3f should be < 1", d.Assist, d.Workload, d.InstrRatio)
+			}
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "gc-offload") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestClaimsCatalog(t *testing.T) {
+	res, err := RunClaims(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 18 {
+		t.Fatalf("claim catalog too small: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			t.Fatalf("claim %s errored: %v", row.Claim.ID, row.Err)
+		}
+		if !row.OK {
+			t.Fatalf("claim %s failed: %s (measured %s)", row.Claim.ID, row.Claim.Statement, row.Measured)
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "PASS") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestSensitivityOrderingsHold(t *testing.T) {
+	res, err := Sensitivity(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 8 {
+		t.Fatalf("sweep too small: %d configs", len(res.Rows))
+	}
+	llcHolds := 0
+	for _, row := range res.Rows {
+		// The kernel-share, frontend-bound and I-side orderings are the
+		// paper's core qualitative claims: they must survive every knob.
+		if !row.KernelOrdering {
+			t.Errorf("%s: kernel ordering flips", row.Config)
+		}
+		if !row.FEOrdering {
+			t.Errorf("%s: frontend ordering flips", row.Config)
+		}
+		if !row.ISideOrdering {
+			t.Errorf("%s: I-side ordering flips", row.Config)
+		}
+		if row.LLCOrdering {
+			llcHolds++
+		}
+		// The three-way LLC ordering is legitimately sensitive to the
+		// replacement policy and to process warmth (cold JIT traffic);
+		// it must hold under the baseline family.
+		if row.Config == "baseline" || row.Config == "double-fidelity" {
+			if !row.LLCOrdering {
+				t.Errorf("%s: LLC ordering must hold at baseline (ratio %.2f)", row.Config, row.LLCRatio)
+			}
+		}
+	}
+	if llcHolds < len(res.Rows)*2/3 {
+		t.Errorf("LLC ordering holds in only %d/%d configs", llcHolds, len(res.Rows))
+	}
+	if s := res.String(); !strings.Contains(s, "baseline") {
+		t.Fatal("rendering broken")
+	}
+}
+
+func TestCrossISA(t *testing.T) {
+	res, err := CrossISA(quickLab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"x86/x86", res.X86Validation.AccuracyFraction},
+		{"x86/arm", res.ArmValidation.AccuracyFraction},
+		{"arm/arm", res.ArmNativeValidation.AccuracyFraction},
+	} {
+		if v.val <= 0 || v.val > 1 {
+			t.Fatalf("%s accuracy %v out of range", v.name, v.val)
+		}
+	}
+	// The Arm-native subset must not lose badly to the transferred one on
+	// its own scores (it was chosen for that space); and the transferred
+	// subset should retain meaningful accuracy.
+	if res.ArmValidation.AccuracyFraction < 0.5 {
+		t.Fatalf("transferred subset collapsed on Arm: %.3f", res.ArmValidation.AccuracyFraction)
+	}
+	if s := res.String(); !strings.Contains(s, "Cross-ISA") {
+		t.Fatal("rendering broken")
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// AssistDelta quantifies one §VIII proposal against the baseline for one
+// workload: relative change in the counters the proposal targets.
+type AssistDelta struct {
+	Workload string
+	Assist   string
+
+	CPIRatio     float64 // assisted / baseline (lower is better)
+	L1IRatio     float64
+	ITLBRatio    float64
+	BTBMissRatio float64
+	LLCRatio     float64
+	InstrRatio   float64
+}
+
+// ExtensionsResult is the what-if study of the paper's §VIII hardware
+// proposals: each assist is evaluated on the workloads whose bottleneck
+// it targets.
+type ExtensionsResult struct {
+	Deltas []AssistDelta
+	// Mean CPI improvement per assist (baseline/assisted, >1 = speedup).
+	Speedup map[string]float64
+}
+
+// assistCase pairs one proposal with the run configuration that exposes
+// the bottleneck it addresses.
+type assistCase struct {
+	name      string
+	assist    sim.HWAssist
+	workloads []string
+	suite     func() []workload.Profile
+	opts      func(base sim.Options) sim.Options
+}
+
+func extensionCases() []assistCase {
+	return []assistCase{
+		{
+			name:      "jit-code-prefetch",
+			assist:    sim.HWAssist{JITCodePrefetch: true},
+			workloads: []string{"Json", "Plaintext"},
+			suite:     workload.AspNetWorkloads,
+			opts: func(b sim.Options) sim.Options {
+				// Cold process: compilations abound, cold-start misses
+				// dominate — the scenario §VII-A1 analyzes.
+				b.PrecompiledFrac = -1
+				b.DisableWarmup = true
+				b.Cores = 2
+				return b
+			},
+		},
+		{
+			name:      "predictor-transform",
+			assist:    sim.HWAssist{PredictorTransform: true},
+			workloads: []string{"Json", "Plaintext"},
+			suite:     workload.AspNetWorkloads,
+			opts: func(b sim.Options) sim.Options {
+				b.PrecompiledFrac = -1
+				b.DisableWarmup = true
+				b.TierUpCalls = 2 // aggressive tier-up: heavy relocation churn
+				b.Cores = 2
+				return b
+			},
+		},
+		{
+			name:      "gc-offload",
+			assist:    sim.HWAssist{GCOffload: true},
+			workloads: []string{"System.Collections", "System.Linq"},
+			suite:     workload.DotNetCategories,
+			opts: func(b sim.Options) sim.Options {
+				b.MaxHeapBytes = 200 << 20
+				b.AllocScale = 3000
+				return b
+			},
+		},
+		{
+			name:      "hugepage-code",
+			assist:    sim.HWAssist{HugePageCode: true},
+			workloads: []string{"CscBench", "Roslyn"},
+			suite:     workload.DotNetCategories,
+			opts: func(b sim.Options) sim.Options {
+				// The assist matters most where code is sparse; evaluated
+				// on the large-footprint compiler categories.
+				return b
+			},
+		},
+		{
+			name:      "hashed-slice-placement",
+			assist:    sim.HWAssist{HashedSlicePlacement: true},
+			workloads: []string{"DbFortunesRaw", "MvcDbFortunesRaw"},
+			suite:     workload.AspNetWorkloads,
+			opts: func(b sim.Options) sim.Options {
+				b.Cores = 16
+				return b
+			},
+		},
+	}
+}
+
+// Extensions runs the §VIII what-if studies.
+func Extensions(l *Lab) (*ExtensionsResult, error) {
+	out := &ExtensionsResult{Speedup: map[string]float64{}}
+	m := machine.CoreI9()
+	perAssist := map[string][]float64{}
+	for _, c := range extensionCases() {
+		ps := c.suite()
+		for _, name := range c.workloads {
+			p, ok := workload.ByName(ps, name)
+			if !ok {
+				continue
+			}
+			base := c.opts(sim.Options{Instructions: l.Cfg.Instructions * 4})
+			baseRes, err := sim.Run(p, m, base)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: extensions baseline %s/%s: %w", c.name, name, err)
+			}
+			withAssist := base
+			withAssist.Assist = c.assist
+			aRes, err := sim.Run(p, m, withAssist)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: extensions assisted %s/%s: %w", c.name, name, err)
+			}
+			d := AssistDelta{
+				Workload:     name,
+				Assist:       c.name,
+				CPIRatio:     ratio(aRes.Counters.CPI(), baseRes.Counters.CPI()),
+				L1IRatio:     ratio(aRes.Counters.MPKI(aRes.Counters.L1IMisses), baseRes.Counters.MPKI(baseRes.Counters.L1IMisses)),
+				ITLBRatio:    ratio(aRes.Counters.MPKI(aRes.Counters.ITLBMisses), baseRes.Counters.MPKI(baseRes.Counters.ITLBMisses)),
+				BTBMissRatio: ratio(float64(aRes.Counters.BTBMisses), float64(baseRes.Counters.BTBMisses)),
+				LLCRatio:     ratio(aRes.Counters.MPKI(aRes.Counters.L3Misses), baseRes.Counters.MPKI(baseRes.Counters.L3Misses)),
+				InstrRatio:   ratio(float64(aRes.Counters.Instructions), float64(baseRes.Counters.Instructions)),
+			}
+			out.Deltas = append(out.Deltas, d)
+			if d.CPIRatio > 0 {
+				perAssist[c.name] = append(perAssist[c.name], 1/d.CPIRatio)
+			}
+		}
+	}
+	if len(out.Deltas) == 0 {
+		return nil, fmt.Errorf("experiments: extensions collected nothing")
+	}
+	for name, xs := range perAssist {
+		out.Speedup[name] = stats.GeoMean(xs)
+	}
+	return out, nil
+}
+
+// String renders the extension study.
+func (r *ExtensionsResult) String() string {
+	var b strings.Builder
+	b.WriteString("Extensions: the paper's §VIII cross-stack hardware proposals, quantified\n")
+	b.WriteString("(ratios are assisted/baseline; < 1 means the assist helps)\n")
+	header := []string{"assist", "workload", "CPI", "L1I MPKI", "I-TLB MPKI", "BTB misses", "LLC MPKI", "instructions"}
+	var rows [][]string
+	for _, d := range r.Deltas {
+		rows = append(rows, []string{
+			d.Assist, d.Workload,
+			fmt.Sprintf("%.3f", d.CPIRatio),
+			fmt.Sprintf("%.3f", d.L1IRatio),
+			fmt.Sprintf("%.3f", d.ITLBRatio),
+			fmt.Sprintf("%.3f", d.BTBMissRatio),
+			fmt.Sprintf("%.3f", d.LLCRatio),
+			fmt.Sprintf("%.3f", d.InstrRatio),
+		})
+	}
+	b.WriteString(textplot.Table("", header, rows))
+	for name := range r.Speedup {
+		fmt.Fprintf(&b, "  %-24s mean speedup %.3fx\n", name, r.Speedup[name])
+	}
+	return b.String()
+}

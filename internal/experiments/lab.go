@@ -1,0 +1,158 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver returns a structured result with a
+// String() rendering, so the CLI, the examples, the benchmarks and the
+// tests all regenerate the same artifacts from one code path.
+//
+// Drivers share a Lab, which caches suite measurements per machine: most
+// figures consume the same measured vectors, and the .NET suite alone has
+// up to 2906 workloads.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Config sets the fidelity of the reproduction runs.
+type Config struct {
+	// Instructions per workload per core. Higher = steadier counters.
+	Instructions uint64
+	// DotNetIndividualLimit caps how many of the 2906 individual .NET
+	// microbenchmarks the subset-B experiments use (0 = all).
+	DotNetIndividualLimit int
+	// CoreSweep is the core-count axis of Figs 11-12.
+	CoreSweep []int
+	// SampleInterval (cycles) for the Fig 13 correlation runs.
+	SampleInterval float64
+}
+
+// Quick returns a low-fidelity configuration for tests.
+func Quick() Config {
+	return Config{
+		Instructions:          6000,
+		DotNetIndividualLimit: 220,
+		CoreSweep:             []int{1, 4, 16},
+		SampleInterval:        2500,
+	}
+}
+
+// Full returns the configuration used for the recorded EXPERIMENTS.md
+// numbers: every workload, more instructions.
+func Full() Config {
+	return Config{
+		Instructions:          30000,
+		DotNetIndividualLimit: 0,
+		CoreSweep:             []int{1, 2, 4, 8, 16},
+		SampleInterval:        4000,
+	}
+}
+
+// Lab caches suite measurements per (suite, machine).
+type Lab struct {
+	Cfg Config
+
+	mu    sync.Mutex
+	cache map[string][]core.Measurement
+}
+
+// NewLab builds a Lab with the given fidelity.
+func NewLab(cfg Config) *Lab {
+	return &Lab{Cfg: cfg, cache: make(map[string][]core.Measurement)}
+}
+
+func (l *Lab) measure(key string, ps []workload.Profile, m *machine.Config, opts sim.Options) []core.Measurement {
+	l.mu.Lock()
+	if ms, ok := l.cache[key]; ok {
+		l.mu.Unlock()
+		return ms
+	}
+	l.mu.Unlock()
+	ms := core.MeasureSuite(ps, m, opts)
+	l.mu.Lock()
+	l.cache[key] = ms
+	l.mu.Unlock()
+	return ms
+}
+
+func (l *Lab) opts() sim.Options {
+	return sim.Options{Instructions: l.Cfg.Instructions}
+}
+
+// DotNetCategories measures the 44 .NET category archetypes on m.
+func (l *Lab) DotNetCategories(m *machine.Config) []core.Measurement {
+	key := fmt.Sprintf("dotnet-cats/%s", m.Name)
+	return l.measure(key, workload.DotNetCategories(), m, l.opts())
+}
+
+// DotNetIndividual measures the individual .NET microbenchmarks on m,
+// honoring the configured limit.
+func (l *Lab) DotNetIndividual(m *machine.Config) []core.Measurement {
+	ws := workload.DotNetWorkloads()
+	if n := l.Cfg.DotNetIndividualLimit; n > 0 && n < len(ws) {
+		// Deterministic stride sample across categories rather than a
+		// prefix, so the limited set still spans the suite.
+		stride := len(ws) / n
+		sel := make([]workload.Profile, 0, n)
+		for i := 0; i < len(ws) && len(sel) < n; i += stride {
+			sel = append(sel, ws[i])
+		}
+		ws = sel
+	}
+	key := fmt.Sprintf("dotnet-ind/%s/%d", m.Name, len(ws))
+	opts := l.opts()
+	// Individual microbenchmarks are short; a third of the budget each.
+	opts.Instructions = l.Cfg.Instructions/3 + 1000
+	return l.measure(key, ws, m, opts)
+}
+
+// AspNet measures the 53 ASP.NET benchmarks on m at their natural core
+// counts.
+func (l *Lab) AspNet(m *machine.Config) []core.Measurement {
+	key := fmt.Sprintf("aspnet/%s", m.Name)
+	return l.measure(key, workload.AspNetWorkloads(), m, l.opts())
+}
+
+// Spec measures the SPEC CPU17 catalog on m.
+func (l *Lab) Spec(m *machine.Config) []core.Measurement {
+	key := fmt.Sprintf("spec/%s", m.Name)
+	return l.measure(key, workload.SpecWorkloads(), m, l.opts())
+}
+
+// TableIVDotNetSubset is the paper's chosen 8-category .NET subset.
+var TableIVDotNetSubset = []string{
+	"System.Runtime", "System.Threading", "System.ComponentModel",
+	"System.Linq", "System.Net", "System.MathBenchmarks",
+	"System.Diagnostics", "CscBench",
+}
+
+// TableIVAspNetSubset is the paper's chosen 8-element ASP.NET subset.
+var TableIVAspNetSubset = []string{
+	"DbFortunesRaw", "MvcDbFortunesRaw", "MvcDbMultiUpdateRaw", "Plaintext",
+	"Json", "CopyToAsync", "MvcJsonNetOutput2M", "MvcJsonNetInput2M",
+}
+
+// TableIVSpecSubset is the paper's chosen 8-element SPEC CPU17 subset.
+var TableIVSpecSubset = []string{
+	"mcf", "cactuBSSN", "wrf", "gcc", "omnetpp", "perlbench", "xalancbmk", "bwaves",
+}
+
+// subsetMeasurements filters measurements to the named workloads, in the
+// given order. Missing names are skipped.
+func subsetMeasurements(ms []core.Measurement, names []string) []core.Measurement {
+	byName := make(map[string]core.Measurement, len(ms))
+	for _, m := range ms {
+		byName[m.Workload.Name] = m
+	}
+	out := make([]core.Measurement, 0, len(names))
+	for _, n := range names {
+		if m, ok := byName[n]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/clr"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Figure13Result reproduces Figs 13a/13b: Pearson correlations of JIT and
+// GC event samples with performance-counter samples for the ASP.NET
+// subset.
+type Figure13Result struct {
+	// JIT[benchmark][counter] — measured with a maximum heap so GC noise
+	// is suppressed (§VII-A); GC[benchmark][counter] — measured with a
+	// small heap to provoke collections.
+	JIT map[string]map[trace.CounterSeries]float64
+	GC  map[string]map[trace.CounterSeries]float64
+	// Rank-correlation (Spearman) cross-checks, robust to outlier bins.
+	JITRank map[string]map[trace.CounterSeries]float64
+	GCRank  map[string]map[trace.CounterSeries]float64
+}
+
+// figure13Counters are the series the paper's Fig 13 bars show.
+func figure13Counters() []trace.CounterSeries {
+	return []trace.CounterSeries{
+		trace.SeriesBranchMPKI, trace.SeriesL1IMPKI, trace.SeriesLLCMPKI,
+		trace.SeriesPageFaults, trace.SeriesUselessPref, trace.SeriesIPC,
+		trace.SeriesInstrs,
+	}
+}
+
+// Figure13 runs the correlation studies.
+func Figure13(l *Lab) (*Figure13Result, error) {
+	out := &Figure13Result{
+		JIT:     map[string]map[trace.CounterSeries]float64{},
+		GC:      map[string]map[trace.CounterSeries]float64{},
+		JITRank: map[string]map[trace.CounterSeries]float64{},
+		GCRank:  map[string]map[trace.CounterSeries]float64{},
+	}
+	names := TableIVAspNetSubset
+	if l.Cfg.Instructions <= 8000 {
+		names = names[:3]
+	}
+	all := workload.AspNetWorkloads()
+	for _, name := range names {
+		p, ok := workload.ByName(all, name)
+		if !ok {
+			continue
+		}
+		// JIT study: huge heap (no GC), churning code.
+		jitRes, err := sim.Run(p, machine.CoreI9(), sim.Options{
+			Instructions:    l.Cfg.Instructions * 2,
+			Cores:           4,
+			MaxHeapBytes:    20000 << 20,
+			SampleInterval:  l.Cfg.SampleInterval,
+			TierUpCalls:     50,
+			PrecompiledFrac: 0.9,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 13 JIT run %s: %w", name, err)
+		}
+		jitCors, err := trace.StudyLagged(jitRes.Samples, trace.EventJIT, figure13Counters(), 0)
+		if err != nil {
+			return nil, err
+		}
+		out.JIT[name] = corMap(jitCors)
+		out.JITRank[name] = rankMap(jitCors)
+
+		// GC study: small heap, aggressive allocation compression.
+		gcRes, err := sim.Run(p, machine.CoreI9(), sim.Options{
+			Instructions:   l.Cfg.Instructions * 2,
+			Cores:          4,
+			MaxHeapBytes:   200 << 20,
+			AllocScale:     4000,
+			SampleInterval: l.Cfg.SampleInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 13 GC run %s: %w", name, err)
+		}
+		gcCors, err := trace.StudyLagged(gcRes.Samples, trace.EventGC, figure13Counters(), 0)
+		if err != nil {
+			return nil, err
+		}
+		out.GC[name] = corMap(gcCors)
+		out.GCRank[name] = rankMap(gcCors)
+	}
+	if len(out.JIT) == 0 {
+		return nil, fmt.Errorf("experiments: figure 13 collected nothing")
+	}
+	return out, nil
+}
+
+func corMap(cs []trace.Correlation) map[trace.CounterSeries]float64 {
+	m := make(map[trace.CounterSeries]float64, len(cs))
+	for _, c := range cs {
+		m[c.Counter] = c.R
+	}
+	return m
+}
+
+func rankMap(cs []trace.Correlation) map[trace.CounterSeries]float64 {
+	m := make(map[trace.CounterSeries]float64, len(cs))
+	for _, c := range cs {
+		m[c.Counter] = c.Spearman
+	}
+	return m
+}
+
+// MeanJIT and MeanGC average correlations across benchmarks.
+func (r *Figure13Result) MeanJIT(c trace.CounterSeries) float64 { return meanOf(r.JIT, c) }
+
+// MeanGC averages the GC-study correlation for one counter.
+func (r *Figure13Result) MeanGC(c trace.CounterSeries) float64 { return meanOf(r.GC, c) }
+
+func meanOf(m map[string]map[trace.CounterSeries]float64, c trace.CounterSeries) float64 {
+	var xs []float64
+	for _, cm := range m {
+		xs = append(xs, cm[c])
+	}
+	return stats.Mean(xs)
+}
+
+// String renders Fig 13.
+func (r *Figure13Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 13: correlation of runtime events with counters (mean Pearson r over ASP.NET subset)\n")
+	header := []string{"counter", "(a) JIT r", "(a) JIT ρ", "(b) GC r", "(b) GC ρ", "paper direction"}
+	direction := map[trace.CounterSeries]string{
+		trace.SeriesBranchMPKI:  "JIT +",
+		trace.SeriesL1IMPKI:     "JIT + (~5%)",
+		trace.SeriesLLCMPKI:     "JIT +, GC - (~8%)",
+		trace.SeriesPageFaults:  "JIT + (5-20%)",
+		trace.SeriesUselessPref: "JIT -",
+		trace.SeriesIPC:         "GC +",
+		trace.SeriesInstrs:      "GC +",
+	}
+	var rows [][]string
+	for _, c := range figure13Counters() {
+		rows = append(rows, []string{
+			string(c),
+			fmt.Sprintf("%+.3f", r.MeanJIT(c)),
+			fmt.Sprintf("%+.3f", meanOf(r.JITRank, c)),
+			fmt.Sprintf("%+.3f", r.MeanGC(c)),
+			fmt.Sprintf("%+.3f", meanOf(r.GCRank, c)),
+			direction[c],
+		})
+	}
+	b.WriteString(textplot.Table("", header, rows))
+	// Per-benchmark correlation heatmaps.
+	cols := make([]string, 0, len(figure13Counters()))
+	for _, c := range figure13Counters() {
+		cols = append(cols, string(c))
+	}
+	heat := func(title string, m map[string]map[trace.CounterSeries]float64) {
+		names := make([]string, 0, len(m))
+		for n := range m {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		vals := make([][]float64, len(names))
+		for i, n := range names {
+			row := make([]float64, len(figure13Counters()))
+			for j, c := range figure13Counters() {
+				row[j] = m[n][c]
+			}
+			vals[i] = row
+		}
+		b.WriteString(textplot.Heatmap(title, names, cols, vals))
+	}
+	heat("  (a) JIT-start correlations per benchmark", r.JIT)
+	heat("  (b) GC correlations per benchmark", r.GC)
+	return b.String()
+}
+
+// GCConfigResult is one (GC mode, heap size) cell of Fig 14.
+type GCConfigResult struct {
+	Mode     clr.GCMode
+	HeapMiB  int64
+	Failed   bool // OutOfMemory / server reservation failure, as in §VII-B
+	FailMsg  string
+	GCPKI    float64
+	LLCMPKI  float64
+	Seconds  float64 // execution time
+	Relative struct {
+		GCPKI, LLCMPKI, Seconds float64 // normalized to workstation@200MiB
+	}
+}
+
+// Figure14Result reproduces Fig 14: workstation vs server GC across
+// maximum heap sizes 200/2000/20000 MiB for the .NET subset.
+type Figure14Result struct {
+	// Per benchmark, per configuration in sweep order:
+	// (ws,200) (ws,2000) (ws,20000) (srv,200) (srv,2000) (srv,20000).
+	Cells map[string][]GCConfigResult
+	// Aggregates over benchmarks (successful cells only).
+	ServerOverWorkstationGC  float64 // paper: 6.18x more triggers
+	ServerOverWorkstationLLC float64 // paper: 0.59x LLC MPKI
+	ServerSpeedup            float64 // paper: 1.14x faster
+}
+
+// figure14Heaps is the paper's heap-size sweep in MiB.
+var figure14Heaps = []int64{200, 2000, 20000}
+
+// Figure14 sweeps GC modes and heap sizes over the .NET subset.
+func Figure14(l *Lab) (*Figure14Result, error) {
+	out := &Figure14Result{Cells: map[string][]GCConfigResult{}}
+	names := TableIVDotNetSubset
+	if l.Cfg.Instructions <= 8000 {
+		names = []string{"System.Runtime", "System.Linq", "System.MathBenchmarks"}
+	}
+	cats := workload.DotNetCategories()
+
+	var gcRatios, llcRatios, speedups []float64
+	for _, name := range names {
+		p, ok := workload.ByName(cats, name)
+		if !ok {
+			continue
+		}
+		var cells []GCConfigResult
+		for _, mode := range []clr.GCMode{clr.Workstation, clr.Server} {
+			for _, heapMiB := range figure14Heaps {
+				cell := GCConfigResult{Mode: mode, HeapMiB: heapMiB}
+				res, err := sim.Run(p, machine.CoreI9(), sim.Options{
+					// Long enough that workstation GC completes full
+					// nursery cycles even at the large heap caps.
+					Instructions: l.Cfg.Instructions * 4,
+					GCMode:       mode,
+					MaxHeapBytes: heapMiB << 20,
+					AllocScale:   4000,
+				})
+				if err != nil {
+					if errors.Is(err, clr.ErrOutOfMemory) || errors.Is(err, clr.ErrServerGCReserve) {
+						cell.Failed = true
+						cell.FailMsg = err.Error()
+						cells = append(cells, cell)
+						continue
+					}
+					return nil, fmt.Errorf("experiments: figure 14 %s %v/%dMiB: %w", name, mode, heapMiB, err)
+				}
+				cell.GCPKI = res.Counters.MPKI(res.Counters.GCTriggered)
+				cell.LLCMPKI = res.Counters.MPKI(res.Counters.L3Misses)
+				cell.Seconds = res.Counters.WallSeconds
+				cells = append(cells, cell)
+			}
+		}
+		// Pairwise server-vs-workstation comparisons at matching heap
+		// sizes (only pairs where both configurations ran).
+		for i := range figure14Heaps {
+			ws, srv := cells[i], cells[i+len(figure14Heaps)]
+			if ws.Failed || srv.Failed {
+				continue
+			}
+			if ws.GCPKI > 0 && srv.GCPKI > 0 {
+				gcRatios = append(gcRatios, srv.GCPKI/ws.GCPKI)
+			}
+			// Floor rather than drop near-zero LLC values: a server-GC run
+			// that eliminates LLC misses entirely is the strongest
+			// evidence for the paper's claim, not a pair to discard.
+			const llcFloor = 0.02
+			if ws.LLCMPKI > llcFloor || srv.LLCMPKI > llcFloor {
+				a, b := srv.LLCMPKI, ws.LLCMPKI
+				if a < llcFloor {
+					a = llcFloor
+				}
+				if b < llcFloor {
+					b = llcFloor
+				}
+				llcRatios = append(llcRatios, a/b)
+			}
+			if srv.Seconds > 0 {
+				speedups = append(speedups, ws.Seconds/srv.Seconds)
+			}
+		}
+		// Normalize to workstation@200MiB, as the figure caption states.
+		base := cells[0]
+		for i := range cells {
+			if cells[i].Failed || base.Failed {
+				continue
+			}
+			cells[i].Relative.GCPKI = ratio(cells[i].GCPKI, base.GCPKI)
+			cells[i].Relative.LLCMPKI = ratio(cells[i].LLCMPKI, base.LLCMPKI)
+			cells[i].Relative.Seconds = ratio(cells[i].Seconds, base.Seconds)
+		}
+		out.Cells[name] = cells
+	}
+	if len(out.Cells) == 0 {
+		return nil, fmt.Errorf("experiments: figure 14 collected nothing")
+	}
+	out.ServerOverWorkstationGC = stats.GeoMean(gcRatios)
+	out.ServerOverWorkstationLLC = stats.GeoMean(llcRatios)
+	out.ServerSpeedup = stats.GeoMean(speedups)
+	return out, nil
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// String renders Fig 14.
+func (r *Figure14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 14: workstation vs server GC across max heap sizes\n")
+	header := []string{"benchmark", "mode", "heap MiB", "GC PKI", "LLC MPKI", "time (rel)"}
+	var rows [][]string
+	for name, cells := range r.Cells {
+		for _, c := range cells {
+			if c.Failed {
+				rows = append(rows, []string{name, c.Mode.String(), fmt.Sprintf("%d", c.HeapMiB), "FAILED", "-", "-"})
+				continue
+			}
+			rows = append(rows, []string{
+				name, c.Mode.String(), fmt.Sprintf("%d", c.HeapMiB),
+				fmt.Sprintf("%.4f", c.GCPKI),
+				fmt.Sprintf("%.3f", c.LLCMPKI),
+				fmt.Sprintf("%.2f", c.Relative.Seconds),
+			})
+		}
+	}
+	b.WriteString(textplot.Table("", header, rows))
+	fmt.Fprintf(&b, "  server/workstation GC triggers: %.2fx (paper: 6.18x)\n", r.ServerOverWorkstationGC)
+	fmt.Fprintf(&b, "  server/workstation LLC MPKI:    %.2fx (paper: 0.59x)\n", r.ServerOverWorkstationLLC)
+	fmt.Fprintf(&b, "  server speedup:                 %.2fx (paper: 1.14x)\n", r.ServerSpeedup)
+	return b.String()
+}

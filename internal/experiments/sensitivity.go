@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/workload"
+)
+
+// SensitivityRow records whether the headline orderings hold under one
+// simulator configuration.
+type SensitivityRow struct {
+	Config string
+
+	KernelOrdering bool // ASP.NET > .NET > SPEC kernel share
+	LLCOrdering    bool // .NET < ASP.NET < SPEC LLC MPKI (GM)
+	FEOrdering     bool // managed FE-bound > SPEC FE-bound
+	ISideOrdering  bool // ASP.NET L1I MPKI > SPEC L1I MPKI
+
+	KernelGap float64 // ASP.NET - SPEC kernel share (pp)
+	LLCRatio  float64 // SPEC / ASP.NET LLC GM
+}
+
+// SensitivityResult is the robustness study: the paper's qualitative
+// findings re-checked across simulator fidelities and modeling choices.
+// A reproduction whose conclusions flip with the knobs would be fragile;
+// this one's orderings must hold everywhere.
+type SensitivityResult struct {
+	Rows []SensitivityRow
+}
+
+// sensitivityConfigs enumerates the swept configurations.
+func sensitivityConfigs(base uint64) []struct {
+	name string
+	opts sim.Options
+} {
+	return []struct {
+		name string
+		opts sim.Options
+	}{
+		{"baseline", sim.Options{Instructions: base}},
+		{"half-fidelity", sim.Options{Instructions: base / 2}},
+		{"double-fidelity", sim.Options{Instructions: base * 2}},
+		{"random-replacement", sim.Options{Instructions: base, Policy: mem.Random}},
+		{"no-warmup", sim.Options{Instructions: base, DisableWarmup: true}},
+		{"alloc-scale-100", sim.Options{Instructions: base, AllocScale: 100}},
+		{"alloc-scale-2000", sim.Options{Instructions: base, AllocScale: 2000}},
+		{"cold-tail-10pct", sim.Options{Instructions: base, PrecompiledFrac: 0.9}},
+	}
+}
+
+// Sensitivity runs the robustness sweep over the Table IV subsets.
+func Sensitivity(l *Lab) (*SensitivityResult, error) {
+	m := machine.CoreI9()
+	dnAll := workload.DotNetCategories()
+	aspAll := workload.AspNetWorkloads()
+	specAll := workload.SpecWorkloads()
+
+	pick := func(all []workload.Profile, names []string) []workload.Profile {
+		var out []workload.Profile
+		for _, n := range names {
+			if p, ok := workload.ByName(all, n); ok {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	dn := pick(dnAll, TableIVDotNetSubset)
+	asp := pick(aspAll, TableIVAspNetSubset)
+	spec := pick(specAll, TableIVSpecSubset)
+
+	out := &SensitivityResult{}
+	for _, cfg := range sensitivityConfigs(l.Cfg.Instructions) {
+		dms := core.MeasureSuite(dn, m, cfg.opts)
+		ams := core.MeasureSuite(asp, m, cfg.opts)
+		sms := core.MeasureSuite(spec, m, cfg.opts)
+
+		mean := func(ms []core.Measurement, id metrics.ID) float64 {
+			var xs []float64
+			for _, mm := range ms {
+				if mm.Err == nil {
+					xs = append(xs, mm.Vector[id])
+				}
+			}
+			return stats.Mean(xs)
+		}
+		gm := func(ms []core.Measurement, id metrics.ID, floor float64) float64 {
+			var xs []float64
+			for _, mm := range ms {
+				if mm.Err == nil {
+					v := mm.Vector[id]
+					if v < floor {
+						v = floor
+					}
+					xs = append(xs, v)
+				}
+			}
+			return stats.GeoMean(xs)
+		}
+		feMean := func(ms []core.Measurement) float64 {
+			var xs []float64
+			for _, mm := range ms {
+				if mm.Err == nil && mm.Result != nil {
+					xs = append(xs, mm.Result.Profile.FrontendBound)
+				}
+			}
+			return stats.Mean(xs)
+		}
+
+		kD := mean(dms, metrics.KernelInstructions)
+		kA := mean(ams, metrics.KernelInstructions)
+		kS := mean(sms, metrics.KernelInstructions)
+		llcD := gm(dms, metrics.LLCMPKI, 0.01)
+		llcA := gm(ams, metrics.LLCMPKI, 0.01)
+		llcS := gm(sms, metrics.LLCMPKI, 0.01)
+		l1iA := gm(ams, metrics.L1IMPKI, 0.01)
+		l1iS := gm(sms, metrics.L1IMPKI, 0.01)
+
+		row := SensitivityRow{
+			Config:         cfg.name,
+			KernelOrdering: kA > kD && kD > kS,
+			LLCOrdering:    llcD < llcA && llcA < llcS,
+			FEOrdering:     feMean(ams) > feMean(sms) && feMean(dms) > feMean(sms),
+			ISideOrdering:  l1iA > l1iS,
+			KernelGap:      kA - kS,
+			LLCRatio:       llcS / llcA,
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// AllHold reports whether every ordering holds in every configuration.
+func (r *SensitivityResult) AllHold() bool {
+	for _, row := range r.Rows {
+		if !(row.KernelOrdering && row.LLCOrdering && row.FEOrdering && row.ISideOrdering) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sweep.
+func (r *SensitivityResult) String() string {
+	var b strings.Builder
+	b.WriteString("Sensitivity: headline orderings across simulator configurations\n")
+	header := []string{"config", "kernel ordering", "LLC ordering", "FE ordering", "I-side ordering", "kernel gap (pp)", "SPEC/ASP.NET LLC"}
+	mark := func(ok bool) string {
+		if ok {
+			return "holds"
+		}
+		return "FLIPS"
+	}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Config,
+			mark(row.KernelOrdering), mark(row.LLCOrdering),
+			mark(row.FEOrdering), mark(row.ISideOrdering),
+			fmt.Sprintf("%.1f", row.KernelGap),
+			fmt.Sprintf("%.1fx", row.LLCRatio),
+		})
+	}
+	b.WriteString(textplot.Table("", header, rows))
+	return b.String()
+}

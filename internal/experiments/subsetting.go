@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/pca"
+	"repro/internal/subset"
+	"repro/internal/textplot"
+)
+
+// TableIIIResult reproduces Table III: the top loading factors of the
+// first four principal components over the .NET categories' 24-metric
+// vectors, with per-component explained variance.
+type TableIIIResult struct {
+	Components   [][]pca.Loading // top loadings per PRCO
+	Variance     []float64       // explained variance per PRCO
+	CumVariance4 float64         // paper: 0.79
+	KaiserCount  int             // data-driven component count cross-check
+}
+
+// TableIII runs the §IV-A metric-redundancy analysis on the .NET suite.
+func TableIII(l *Lab) (*TableIIIResult, error) {
+	ms := l.DotNetCategories(machine.CoreI9())
+	ch, err := core.Characterize(ms, 4, cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{
+		CumVariance4: ch.PCA.CumulativeVariance(4),
+		KaiserCount:  ch.PCA.KaiserCount(),
+	}
+	names := metrics.Names()
+	for k := 0; k < 4; k++ {
+		res.Components = append(res.Components, ch.PCA.TopLoadings(k, 3, names))
+		res.Variance = append(res.Variance, ch.PCA.ExplainedVariance[k])
+	}
+	return res, nil
+}
+
+// String renders Table III.
+func (r *TableIIIResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table III: loading factors of the top 3 metrics on the four principal components\n")
+	for k, loads := range r.Components {
+		fmt.Fprintf(&b, "  PRCO%d (%.3f):\n", k+1, r.Variance[k])
+		for _, ld := range loads {
+			fmt.Fprintf(&b, "    %-32s %+.3f\n", ld.Metric, ld.Weight)
+		}
+	}
+	fmt.Fprintf(&b, "  top-4 cumulative variance: %.3f (paper: 0.79)\n", r.CumVariance4)
+	fmt.Fprintf(&b, "  Kaiser criterion (eigenvalue > 1): %d components\n", r.KaiserCount)
+	return b.String()
+}
+
+// TableIVResult reproduces Table IV: the representative 8-element subsets
+// of all three suites, with the paper-style one-line descriptions where
+// the catalog carries them.
+type TableIVResult struct {
+	DotNet []string
+	AspNet []string
+	Spec   []string
+
+	Descriptions map[string]string
+}
+
+// TableIV derives representative subsets by clustering each suite in its
+// top-4-PC space and picking one medoid per cluster.
+func TableIV(l *Lab) (*TableIVResult, error) {
+	m := machine.CoreI9()
+	out := &TableIVResult{Descriptions: map[string]string{}}
+	for _, s := range []struct {
+		ms   []core.Measurement
+		dest *[]string
+	}{
+		{l.DotNetCategories(m), &out.DotNet},
+		{l.AspNet(m), &out.AspNet},
+		{l.Spec(m), &out.Spec},
+	} {
+		ch, err := core.Characterize(s.ms, 4, cluster.Average)
+		if err != nil {
+			return nil, err
+		}
+		*s.dest = ch.SubsetNames(ch.Subset(8))
+		for _, meas := range s.ms {
+			if meas.Err == nil && meas.Workload.Description != "" {
+				out.Descriptions[meas.Workload.Name] = meas.Workload.Description
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders Table IV.
+func (r *TableIVResult) String() string {
+	rows := make([][]string, 8)
+	get := func(s []string, i int) string {
+		if i < len(s) {
+			return s[i]
+		}
+		return ""
+	}
+	describe := func(name string) string {
+		if d := r.Descriptions[name]; d != "" {
+			return fmt.Sprintf("%s — %s", name, d)
+		}
+		return name
+	}
+	for i := range rows {
+		rows[i] = []string{describe(get(r.DotNet, i)), describe(get(r.AspNet, i)), get(r.Spec, i)}
+	}
+	return textplot.Table("Table IV: representative subsets (derived)",
+		[]string{".NET", "ASP.NET", "SPEC CPU17"}, rows)
+}
+
+// Figure1Result reproduces Fig 1: the dendrogram over the 44 .NET
+// categories.
+type Figure1Result struct {
+	Dendrogram *cluster.Dendrogram
+	Labels     []string
+	Subset     []string // the 8 representatives, underlined in the paper
+}
+
+// Figure1 clusters the .NET categories and marks the 8-cut representatives.
+func Figure1(l *Lab) (*Figure1Result, error) {
+	ms := l.DotNetCategories(machine.CoreI9())
+	ch, err := core.Characterize(ms, 4, cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, 0, len(ms))
+	for _, m := range ms {
+		if m.Err == nil {
+			labels = append(labels, m.Workload.Name)
+		}
+	}
+	return &Figure1Result{
+		Dendrogram: ch.Dendrogram,
+		Labels:     labels,
+		Subset:     ch.SubsetNames(ch.Subset(8)),
+	}, nil
+}
+
+// String renders Fig 1 as a text dendrogram.
+func (r *Figure1Result) String() string {
+	out := textplot.Dendrogram("Fig 1: .NET category similarity dendrogram", r.Dendrogram, r.Labels)
+	return out + "  8-cut representatives: " + strings.Join(r.Subset, ", ") + "\n"
+}
+
+// Figure2Result reproduces Fig 2: validation of the representative
+// subsets via SPECspeed-style composite scores (Xeon baseline, i9 as
+// machine A). The paper reports A=98.7%, B=96.3%, A(o)=99.9%.
+type Figure2Result struct {
+	SubsetA  subset.Validation // 8 of 44 categories (this repo's derived subset)
+	SubsetB  subset.Validation // 64 of the individual workloads
+	SubsetAO subset.Validation // exhaustive/greedy optimum over the A clusters
+}
+
+// Figure2 validates subsets A, B and A(o).
+func Figure2(l *Lab) (*Figure2Result, error) {
+	baseM, fastM := machine.XeonE5(), machine.CoreI9()
+
+	// --- Subset A: categories ---
+	baseCats := l.DotNetCategories(baseM)
+	fastCats := l.DotNetCategories(fastM)
+	scoresA, err := machineScores(baseCats, fastCats)
+	if err != nil {
+		return nil, err
+	}
+	chA, err := core.Characterize(fastCats, 4, cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	selA := chA.Subset(8)
+	valA := subset.Validate("Subset A (8/44 categories)", scoresA, selA)
+
+	// --- Subset A(o): best one-per-cluster pick ---
+	valAO := subset.Optimal(scoresA, chA.Clusters(8), 2_000_000)
+	valAO.Name = "Subset A(o) (optimal)"
+
+	// --- Subset B: individual workloads ---
+	baseInd := l.DotNetIndividual(baseM)
+	fastInd := l.DotNetIndividual(fastM)
+	scoresB, err := machineScores(baseInd, fastInd)
+	if err != nil {
+		return nil, err
+	}
+	chB, err := core.Characterize(fastInd, 4, cluster.Average)
+	if err != nil {
+		return nil, err
+	}
+	k := 64
+	if k > len(scoresB) {
+		k = len(scoresB)
+	}
+	selB := chB.Subset(k)
+	valB := subset.Validate(fmt.Sprintf("Subset B (%d/%d workloads)", k, len(scoresB)), scoresB, selB)
+
+	return &Figure2Result{SubsetA: valA, SubsetB: valB, SubsetAO: valAO}, nil
+}
+
+// machineScores computes SPECspeed-style scores from two machines'
+// measurements of the same suite.
+func machineScores(base, fast []core.Measurement) ([]float64, error) {
+	bt := core.ExecutionTimes(base)
+	ft := core.ExecutionTimes(fast)
+	// Keep only workloads that succeeded on both machines.
+	var b2, f2 []float64
+	for i := range bt {
+		if bt[i] > 0 && ft[i] > 0 {
+			b2 = append(b2, bt[i])
+			f2 = append(f2, ft[i])
+		}
+	}
+	return subset.Scores(b2, f2)
+}
+
+// String renders Fig 2.
+func (r *Figure2Result) String() string {
+	rows := [][]string{}
+	for _, v := range []subset.Validation{r.SubsetA, r.SubsetB, r.SubsetAO} {
+		rows = append(rows, []string{
+			v.Name,
+			fmt.Sprintf("%.4f", v.FullComposite),
+			fmt.Sprintf("%.4f", v.SubsetComposite),
+			fmt.Sprintf("%.1f%%", v.AccuracyFraction*100),
+		})
+	}
+	return textplot.Table("Fig 2: representative-subset validation (Xeon baseline vs i9)",
+		[]string{"subset", "full composite", "subset composite", "accuracy"}, rows)
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+	"repro/internal/topdown"
+	"repro/internal/workload"
+)
+
+// TopDownRow is one benchmark's Top-Down profile.
+type TopDownRow struct {
+	Name    string
+	Suite   string
+	Profile topdown.Profile
+}
+
+// Figure9Result reproduces Fig 9: the basic four-way Top-Down profile for
+// every benchmark in the three subsets.
+type Figure9Result struct {
+	Rows []TopDownRow
+}
+
+// Figure9 collects basic Top-Down profiles.
+func Figure9(l *Lab) (*Figure9Result, error) {
+	dn, asp, spec := l.subsetVectors()
+	out := &Figure9Result{}
+	add := func(ms []core.Measurement, suite string) {
+		for _, m := range ms {
+			if m.Err != nil || m.Result == nil {
+				continue
+			}
+			out.Rows = append(out.Rows, TopDownRow{Name: m.Workload.Name, Suite: suite, Profile: m.Result.Profile})
+		}
+	}
+	add(dn, ".NET")
+	add(asp, "ASP.NET")
+	add(spec, "SPEC CPU17")
+	if len(out.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: figure 9 collected no profiles")
+	}
+	return out, nil
+}
+
+// SuiteMeans averages the level-1 categories per suite.
+func (r *Figure9Result) SuiteMeans() map[string]topdown.Profile {
+	sums := map[string]*topdown.Profile{}
+	counts := map[string]int{}
+	for _, row := range r.Rows {
+		p := sums[row.Suite]
+		if p == nil {
+			p = &topdown.Profile{}
+			sums[row.Suite] = p
+		}
+		p.Retiring += row.Profile.Retiring
+		p.BadSpeculation += row.Profile.BadSpeculation
+		p.FrontendBound += row.Profile.FrontendBound
+		p.BackendBound += row.Profile.BackendBound
+		counts[row.Suite]++
+	}
+	out := map[string]topdown.Profile{}
+	for s, p := range sums {
+		n := float64(counts[s])
+		out[s] = topdown.Profile{
+			Retiring:       p.Retiring / n,
+			BadSpeculation: p.BadSpeculation / n,
+			FrontendBound:  p.FrontendBound / n,
+			BackendBound:   p.BackendBound / n,
+		}
+	}
+	return out
+}
+
+// String renders Fig 9.
+func (r *Figure9Result) String() string {
+	rows := make([]string, 0, len(r.Rows))
+	segs := make([][]textplot.StackSegment, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, fmt.Sprintf("%-11s %s", row.Suite, row.Name))
+		segs = append(segs, []textplot.StackSegment{
+			{Name: "frontend", Value: row.Profile.FrontendBound},
+			{Name: "bad-spec", Value: row.Profile.BadSpeculation},
+			{Name: "backend", Value: row.Profile.BackendBound},
+			{Name: "retiring", Value: row.Profile.Retiring},
+		})
+	}
+	out := textplot.StackedBars("Fig 9: basic Top-Down profile", rows, segs, 50)
+	means := r.SuiteMeans()
+	for _, s := range []string{".NET", "ASP.NET", "SPEC CPU17"} {
+		m := means[s]
+		out += fmt.Sprintf("  %-11s mean: FE %.1f%%  BS %.1f%%  BE %.1f%%  RET %.1f%%\n",
+			s, m.FrontendBound, m.BadSpeculation, m.BackendBound, m.Retiring)
+	}
+	return out
+}
+
+// Figure10Result reproduces Fig 10: the frontend and backend breakdowns of
+// empty pipeline slots.
+type Figure10Result struct {
+	Rows []TopDownRow
+}
+
+// Figure10 reuses the Fig 9 profiles; only the rendering differs (leaf
+// breakdowns instead of level-1 categories).
+func Figure10(l *Lab) (*Figure10Result, error) {
+	f9, err := Figure9(l)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure10Result{Rows: f9.Rows}, nil
+}
+
+// String renders Fig 10.
+func (r *Figure10Result) String() string {
+	var b strings.Builder
+	feRows := make([]string, 0, len(r.Rows))
+	feSegs := make([][]textplot.StackSegment, 0, len(r.Rows))
+	beRows := make([]string, 0, len(r.Rows))
+	beSegs := make([][]textplot.StackSegment, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		label := fmt.Sprintf("%-11s %s", row.Suite, row.Name)
+		p := row.Profile
+		feRows = append(feRows, label)
+		feSegs = append(feSegs, []textplot.StackSegment{
+			{Name: "FE_ICache", Value: p.FELatICache},
+			{Name: "FE_ITLB", Value: p.FELatITLB},
+			{Name: "FE_Resteer", Value: p.FELatResteer},
+			{Name: "FE_MSSwitch", Value: p.FELatMSSwitch},
+			{Name: "FE_DSB", Value: p.FEBwDSB},
+			{Name: "FE_MITE", Value: p.FEBwMITE},
+		})
+		beRows = append(beRows, label)
+		beSegs = append(beSegs, []textplot.StackSegment{
+			{Name: "MEM_L1", Value: p.MemL1},
+			{Name: "MEM_L2", Value: p.MemL2},
+			{Name: "MEM_L3", Value: p.MemL3},
+			{Name: "MEM_DRAM", Value: p.MemDRAM},
+			{Name: "MEM_Stores", Value: p.MemStores},
+			{Name: "CR_Divider", Value: p.CoreDivider},
+			{Name: "CR_Ports", Value: p.CorePortsUtil},
+		})
+	}
+	b.WriteString(textplot.StackedBars("Fig 10 (top): frontend empty-slot breakdown", feRows, feSegs, 50))
+	b.WriteString(textplot.StackedBars("Fig 10 (bottom): backend empty-slot breakdown", beRows, beSegs, 50))
+	return b.String()
+}
+
+// ScalingPoint is one (benchmark, core count) Top-Down measurement.
+type ScalingPoint struct {
+	Name    string
+	Cores   int
+	Profile topdown.Profile
+	LLCMPKI float64 // per-core LLC MPKI
+	CPI     float64
+}
+
+// Figure11Result reproduces Figs 11 and 12: ASP.NET Top-Down profiles at
+// 1..16 cores, and the L3-bound share with per-core LLC MPKI.
+type Figure11Result struct {
+	Points []ScalingPoint
+	Sweep  []int
+}
+
+// Figure11 sweeps core counts for the ASP.NET subset.
+func Figure11(l *Lab) (*Figure11Result, error) {
+	out := &Figure11Result{Sweep: l.Cfg.CoreSweep}
+	names := TableIVAspNetSubset
+	if len(names) > 4 && l.Cfg.Instructions <= 8000 {
+		names = names[:4] // quick mode: a representative half
+	}
+	all := workload.AspNetWorkloads()
+	for _, name := range names {
+		p, ok := workload.ByName(all, name)
+		if !ok {
+			continue
+		}
+		for _, cores := range l.Cfg.CoreSweep {
+			// Scaling runs need steadier counters than the sweep default:
+			// shared-LLC contention is a steady-state effect.
+			res, err := sim.Run(p, machine.CoreI9(), sim.Options{
+				Instructions: l.Cfg.Instructions * 3,
+				Cores:        cores,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure 11 %s@%d: %w", name, cores, err)
+			}
+			out.Points = append(out.Points, ScalingPoint{
+				Name:    name,
+				Cores:   cores,
+				Profile: res.Profile,
+				LLCMPKI: res.Counters.MPKI(res.Counters.L3Misses),
+				CPI:     res.Counters.CPI(),
+			})
+		}
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("experiments: figure 11 has no points")
+	}
+	return out, nil
+}
+
+// MeanAt aggregates backend-bound and L3-bound shares at one core count.
+func (r *Figure11Result) MeanAt(cores int) (backend, l3bound, llcMPKI float64) {
+	var be, l3, llc []float64
+	for _, p := range r.Points {
+		if p.Cores == cores {
+			be = append(be, p.Profile.BackendBound)
+			l3 = append(l3, p.Profile.MemL3)
+			llc = append(llc, p.LLCMPKI)
+		}
+	}
+	return stats.Mean(be), stats.Mean(l3), stats.Mean(llc)
+}
+
+// String renders Figs 11 and 12 together.
+func (r *Figure11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 11: ASP.NET Top-Down vs core count / Fig 12: L3-bound share\n")
+	header := []string{"cores", "backend-bound %", "L3-bound %", "per-core LLC MPKI"}
+	var rows [][]string
+	for _, c := range r.Sweep {
+		be, l3, llc := r.MeanAt(c)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.1f", be),
+			fmt.Sprintf("%.2f", l3),
+			fmt.Sprintf("%.3f", llc),
+		})
+	}
+	b.WriteString(textplot.Table("", header, rows))
+	b.WriteString("  paper: backend and L3-bound shares grow with cores; per-core LLC MPKI stays stable\n")
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package machine
+
+import "testing"
+
+func TestAllValidate(t *testing.T) {
+	for _, c := range All() {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestTableIIValues(t *testing.T) {
+	xeon, i9, arm := XeonE5(), CoreI9(), Arm()
+
+	if xeon.Cores != 16 || xeon.VCPUs != 32 {
+		t.Fatalf("Xeon cores %d/%d, Table II says 16/32", xeon.Cores, xeon.VCPUs)
+	}
+	if i9.Cores != 18 || i9.VCPUs != 18 {
+		t.Fatalf("i9 cores %d/%d, Table II says 18/18", i9.Cores, i9.VCPUs)
+	}
+	if arm.Cores != 32 || arm.VCPUs != 32 {
+		t.Fatalf("Arm cores %d/%d, Table II says 32/32", arm.Cores, arm.VCPUs)
+	}
+
+	if xeon.NomFreq != 2.1 || xeon.MaxFreq != 3.0 {
+		t.Fatal("Xeon freq mismatch with Table II")
+	}
+	if i9.NomFreq != 3.0 || i9.MaxFreq != 4.5 {
+		t.Fatal("i9 freq mismatch with Table II")
+	}
+	if arm.NomFreq != 1.6 || arm.MaxFreq != 2.2 {
+		t.Fatal("Arm freq mismatch with Table II")
+	}
+
+	// All three have 32KiB L1s.
+	for _, c := range All() {
+		if c.L1D.SizeBytes != 32*1024 || c.L1I.SizeBytes != 32*1024 {
+			t.Fatalf("%s L1 size mismatch", c.Name)
+		}
+	}
+	if i9.L2.SizeBytes != 1024*1024 {
+		t.Fatal("i9 L2 should be 1MiB")
+	}
+	if xeon.L2.SizeBytes != 256*1024 || arm.L2.SizeBytes != 256*1024 {
+		t.Fatal("Xeon/Arm L2 should be 256KiB")
+	}
+	if arm.L3.SizeBytes != 32*1024*1024 {
+		t.Fatal("Arm L3 should be 32MiB")
+	}
+
+	if xeon.ISA != X8664 || i9.ISA != X8664 || arm.ISA != AArch64 {
+		t.Fatal("ISA mismatch")
+	}
+}
+
+func TestISAString(t *testing.T) {
+	if X8664.String() != "x86-64" || AArch64.String() != "AArch64" {
+		t.Fatal("ISA names")
+	}
+	if ISA(9).String() != "ISA(9)" {
+		t.Fatal("unknown ISA formatting")
+	}
+}
+
+func TestCacheGeomSets(t *testing.T) {
+	g := CacheGeom{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 8}
+	if g.Sets() != 64 {
+		t.Fatalf("32KiB/64B/8w = %d sets, want 64", g.Sets())
+	}
+	var zero CacheGeom
+	if zero.Sets() != 0 {
+		t.Fatal("zero geometry should have 0 sets")
+	}
+}
+
+func TestArmSpecifics(t *testing.T) {
+	arm := Arm()
+	if arm.STLB.Entries != 2048 {
+		t.Fatal("Arm secondary TLB should have 2K entries (§III-B)")
+	}
+	if arm.ROBEntries != 180 {
+		t.Fatal("Arm ROB should have 180 entries (§III-B)")
+	}
+	if arm.LoopBufSize != 128 {
+		t.Fatal("Arm loop buffer should have 128 entries (§III-B)")
+	}
+	if arm.StackFriction <= 1 {
+		t.Fatal("Arm must model software-stack immaturity (§V-D)")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := CoreI9()
+	c.Cores = 0
+	if c.Validate() == nil {
+		t.Fatal("zero cores accepted")
+	}
+
+	c = CoreI9()
+	c.L1D.Ways = 0
+	if c.Validate() == nil {
+		t.Fatal("zero-way cache accepted")
+	}
+
+	c = CoreI9()
+	c.L2 = CacheGeom{SizeBytes: 3 * 64 * 4, LineBytes: 64, Ways: 4} // 3 sets
+	if c.Validate() == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+
+	c = CoreI9()
+	c.IssueWidth = 0
+	if c.Validate() == nil {
+		t.Fatal("zero issue width accepted")
+	}
+
+	c = CoreI9()
+	c.StackFriction = 0.5
+	if c.Validate() == nil {
+		t.Fatal("stack friction < 1 accepted")
+	}
+
+	c = CoreI9()
+	c.PrefetchQuality = 1.5
+	if c.Validate() == nil {
+		t.Fatal("prefetch quality > 1 accepted")
+	}
+}

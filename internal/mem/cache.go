@@ -1,0 +1,273 @@
+// Package mem implements the memory-hierarchy simulators behind the
+// paper's cache and TLB metrics: set-associative caches with LRU
+// replacement, composed into an L1I/L1D + unified L2 + LLC hierarchy, and
+// I-/D-TLB models with a unified second-level TLB. The perf harness feeds
+// synthetic address streams through these structures; every cache/TLB MPKI
+// value in the reproduced figures is counted here rather than assumed.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ReplacementPolicy selects how a victim way is chosen on fill.
+type ReplacementPolicy int
+
+const (
+	// LRU is the default policy used everywhere in the reproduction.
+	LRU ReplacementPolicy = iota
+	// Random replacement exists for the ablation bench comparing MPKI
+	// sensitivity to the replacement policy.
+	Random
+)
+
+// Cache is one level of set-associative cache.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineBits uint
+	setMask  uint64
+	policy   ReplacementPolicy
+
+	tags  []uint64 // sets*ways, tag value
+	valid []bool
+	ts    []uint64 // LRU timestamps
+	clock uint64
+	rseed uint64 // cheap xorshift state for Random policy
+
+	Stats CacheStats
+}
+
+// CacheStats counts accesses and misses.
+type CacheStats struct {
+	Accesses  uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// NewCache builds a cache from geometry. It panics on invalid geometry
+// (callers validate machine.Config first).
+func NewCache(name string, g machine.CacheGeom, policy ReplacementPolicy) *Cache {
+	sets := g.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: cache %s has invalid set count %d", name, sets))
+	}
+	lineBits := uint(0)
+	for l := g.LineBytes; l > 1; l >>= 1 {
+		lineBits++
+	}
+	if 1<<lineBits != g.LineBytes {
+		panic(fmt.Sprintf("mem: cache %s line size %d not a power of two", name, g.LineBytes))
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     g.Ways,
+		lineBits: lineBits,
+		setMask:  uint64(sets - 1),
+		policy:   policy,
+		tags:     make([]uint64, sets*g.Ways),
+		valid:    make([]bool, sets*g.Ways),
+		ts:       make([]uint64, sets*g.Ways),
+		rseed:    0x2545f4914f6cdd1d,
+	}
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// Access looks up addr, filling on miss. It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	c.Stats.Accesses++
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line >> 0 // full line id as tag; set bits are redundant but harmless
+	base := set * c.ways
+
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.ts[base+w] = c.clock
+			return true
+		}
+	}
+	c.Stats.Misses++
+	c.fill(base, tag)
+	return false
+}
+
+// Probe reports whether addr is present without updating state or stats.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills addr without counting an access: used by the prefetcher
+// model to install lines ahead of demand.
+func (c *Cache) Insert(addr uint64) {
+	c.clock++
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return // already present
+		}
+	}
+	c.fill(base, line)
+}
+
+func (c *Cache) fill(base int, tag uint64) {
+	victim := base
+	switch c.policy {
+	case LRU:
+		oldest := c.ts[base]
+		for w := 0; w < c.ways; w++ {
+			if !c.valid[base+w] {
+				victim = base + w
+				oldest = 0
+				break
+			}
+			if c.ts[base+w] < oldest {
+				oldest = c.ts[base+w]
+				victim = base + w
+			}
+		}
+	case Random:
+		// xorshift64*
+		c.rseed ^= c.rseed >> 12
+		c.rseed ^= c.rseed << 25
+		c.rseed ^= c.rseed >> 27
+		victim = base + int((c.rseed*0x2545f4914f6cdd1d)>>33)%c.ways
+	}
+	if c.valid[victim] {
+		c.Stats.Evictions++
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.ts[victim] = c.clock
+}
+
+// Flush invalidates every line, modeling the cold-start state after JIT
+// code-page relocation or a context migration.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// FlushRange invalidates all lines whose address falls inside
+// [start, start+size), used when the JIT relocates one code page.
+func (c *Cache) FlushRange(start, size uint64) {
+	first := start >> c.lineBits
+	last := (start + size - 1) >> c.lineBits
+	for i := range c.tags {
+		if c.valid[i] && c.tags[i] >= first && c.tags[i] <= last {
+			c.valid[i] = false
+		}
+	}
+}
+
+// ResetStats zeroes the counters without touching cache contents; used to
+// discard warmup runs the way §III-A discards the first of 15 runs.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }
+
+// AccessKind distinguishes the kinds of memory access for hierarchy stats.
+type AccessKind int
+
+const (
+	InstFetch AccessKind = iota
+	Load
+	Store
+)
+
+// HierarchyResult reports where in the hierarchy an access hit.
+type HierarchyResult struct {
+	L1Hit, L2Hit, L3Hit bool
+	// Level is 1..4, with 4 meaning DRAM.
+	Level int
+}
+
+// Hierarchy composes L1I/L1D, a unified L2 and the LLC. One Hierarchy
+// models one core's private levels; the LLC may be shared across cores via
+// the noc package, which wraps the same Cache type.
+type Hierarchy struct {
+	L1I, L1D *Cache
+	L2       *Cache
+	L3       *Cache // may be shared; nil-safe accessors are not provided on purpose
+}
+
+// NewHierarchy builds a per-core hierarchy (with a private LLC) from a
+// machine config.
+func NewHierarchy(cfg *machine.Config, policy ReplacementPolicy) *Hierarchy {
+	return &Hierarchy{
+		L1I: NewCache("L1I", cfg.L1I, policy),
+		L1D: NewCache("L1D", cfg.L1D, policy),
+		L2:  NewCache("L2", cfg.L2, policy),
+		L3:  NewCache("L3", cfg.L3, policy),
+	}
+}
+
+// NewHierarchyShared builds a per-core hierarchy around an existing shared
+// LLC.
+func NewHierarchyShared(cfg *machine.Config, policy ReplacementPolicy, shared *Cache) *Hierarchy {
+	return &Hierarchy{
+		L1I: NewCache("L1I", cfg.L1I, policy),
+		L1D: NewCache("L1D", cfg.L1D, policy),
+		L2:  NewCache("L2", cfg.L2, policy),
+		L3:  shared,
+	}
+}
+
+// Access sends one access through the hierarchy and reports the hit level.
+func (h *Hierarchy) Access(kind AccessKind, addr uint64) HierarchyResult {
+	l1 := h.L1D
+	if kind == InstFetch {
+		l1 = h.L1I
+	}
+	if l1.Access(addr) {
+		return HierarchyResult{L1Hit: true, Level: 1}
+	}
+	if h.L2.Access(addr) {
+		return HierarchyResult{L2Hit: true, Level: 2}
+	}
+	if h.L3.Access(addr) {
+		return HierarchyResult{L3Hit: true, Level: 3}
+	}
+	return HierarchyResult{Level: 4}
+}
+
+// FlushAll clears every level (but not a shared L3's peers' view: the LLC
+// flush affects all sharers, which is physically accurate).
+func (h *Hierarchy) FlushAll() {
+	h.L1I.Flush()
+	h.L1D.Flush()
+	h.L2.Flush()
+	h.L3.Flush()
+}
+
+// ResetStats clears counters at every level.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+}

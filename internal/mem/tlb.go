@@ -1,0 +1,211 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// TLB models a translation lookaside buffer: set-associative or fully
+// associative over virtual page numbers, LRU replacement. A second-level
+// (unified) TLB can back the first level, matching both the Intel STLB and
+// the Arm "2K-entry secondary TLB" of §III-B.
+type TLB struct {
+	name     string
+	sets     int
+	ways     int
+	pageBits uint
+	setMask  uint64
+
+	tags  []uint64
+	valid []bool
+	ts    []uint64
+	clock uint64
+
+	next *TLB // optional second level
+
+	Stats TLBStats
+}
+
+// TLBStats counts lookups and misses. A first-level miss that hits in the
+// second level is counted in SecondLevelHits and does NOT count as a miss
+// for MPKI purposes (matching how perf exposes walk-causing misses).
+type TLBStats struct {
+	Lookups         uint64
+	Misses          uint64 // misses that required a page walk
+	SecondLevelHits uint64
+}
+
+// MissRate returns walk-causing misses per lookup.
+func (s TLBStats) MissRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Lookups)
+}
+
+// NewTLB builds a TLB from geometry; Ways == 0 means fully associative.
+// The optional next TLB is consulted on a first-level miss.
+func NewTLB(name string, g machine.TLBGeom, next *TLB) *TLB {
+	if g.Entries <= 0 {
+		panic(fmt.Sprintf("mem: TLB %s has %d entries", name, g.Entries))
+	}
+	pageBits := uint(0)
+	for p := g.PageSize; p > 1; p >>= 1 {
+		pageBits++
+	}
+	if 1<<pageBits != g.PageSize {
+		panic(fmt.Sprintf("mem: TLB %s page size %d not a power of two", name, g.PageSize))
+	}
+	ways := g.Ways
+	if ways == 0 {
+		ways = g.Entries // fully associative: one set
+	}
+	sets := g.Entries / ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("mem: TLB %s yields invalid set count %d", name, sets))
+	}
+	return &TLB{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		pageBits: pageBits,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		ts:       make([]uint64, sets*ways),
+		next:     next,
+	}
+}
+
+// Name returns the TLB's label.
+func (t *TLB) Name() string { return t.name }
+
+// Lookup translates addr, returning true when the first level hits.
+// On a first-level miss the second level is consulted; only a miss in both
+// counts as a walk-causing miss.
+func (t *TLB) Lookup(addr uint64) bool {
+	t.clock++
+	t.Stats.Lookups++
+	vpn := addr >> t.pageBits
+	set := int(vpn & t.setMask)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.tags[base+w] == vpn {
+			t.ts[base+w] = t.clock
+			return true
+		}
+	}
+	// First-level miss: consult second level if present.
+	if t.next != nil && t.next.lookupInternal(vpn) {
+		t.Stats.SecondLevelHits++
+		t.fill(base, vpn)
+		return false // first level missed, but no walk
+	}
+	t.Stats.Misses++
+	t.fill(base, vpn)
+	if t.next != nil {
+		t.next.insert(vpn)
+	}
+	return false
+}
+
+// lookupInternal checks the TLB by VPN without recursing further.
+func (t *TLB) lookupInternal(vpn uint64) bool {
+	t.clock++
+	set := int(vpn & t.setMask)
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		if t.valid[base+w] && t.tags[base+w] == vpn {
+			t.ts[base+w] = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+func (t *TLB) insert(vpn uint64) {
+	t.clock++
+	set := int(vpn & t.setMask)
+	t.fill(set*t.ways, vpn)
+}
+
+func (t *TLB) fill(base int, vpn uint64) {
+	victim := base
+	oldest := t.ts[base]
+	for w := 0; w < t.ways; w++ {
+		if !t.valid[base+w] {
+			victim = base + w
+			oldest = 0
+			break
+		}
+		if t.ts[base+w] < oldest {
+			oldest = t.ts[base+w]
+			victim = base + w
+		}
+	}
+	t.valid[victim] = true
+	t.tags[victim] = vpn
+	t.ts[victim] = t.clock
+}
+
+// Warm installs the page containing addr into this TLB and its second
+// level without touching statistics — prewarming for long-running
+// processes whose translations are resident before measurement begins.
+func (t *TLB) Warm(addr uint64) {
+	vpn := addr >> t.pageBits
+	t.insert(vpn)
+	if t.next != nil {
+		t.next.insert(vpn)
+	}
+}
+
+// Flush invalidates all entries (and the second level, when private),
+// modeling address-space churn after JIT page remapping.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	if t.next != nil {
+		t.next.Flush()
+	}
+}
+
+// ResetStats zeroes the counters (second level included).
+func (t *TLB) ResetStats() {
+	t.Stats = TLBStats{}
+	if t.next != nil {
+		t.next.Stats = TLBStats{}
+	}
+}
+
+// TLBSet groups a core's translation structures.
+type TLBSet struct {
+	ITLB, DTLB *TLB
+	STLB       *TLB
+}
+
+// NewTLBSet builds I-TLB and D-TLB backed by a shared unified STLB from a
+// machine config.
+func NewTLBSet(cfg *machine.Config) *TLBSet {
+	stlb := NewTLB("STLB", cfg.STLB, nil)
+	return &TLBSet{
+		ITLB: NewTLB("ITLB", cfg.ITLB, stlb),
+		DTLB: NewTLB("DTLB", cfg.DTLB, stlb),
+		STLB: stlb,
+	}
+}
+
+// Flush invalidates everything.
+func (s *TLBSet) Flush() {
+	s.ITLB.Flush()
+	s.DTLB.Flush()
+	s.STLB.Flush()
+}
+
+// ResetStats zeroes all counters.
+func (s *TLBSet) ResetStats() {
+	s.ITLB.Stats = TLBStats{}
+	s.DTLB.Stats = TLBStats{}
+	s.STLB.Stats = TLBStats{}
+}

@@ -1,0 +1,195 @@
+// Package pca implements Principal Component Analysis over standardized
+// metric matrices, mirroring §IV-A of the paper: standardize the 24
+// characterization metrics, eigendecompose the correlation matrix, and keep
+// the top principal components whose loading factors (Table III) describe
+// which raw metrics drive workload variance.
+package pca
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+)
+
+// Result holds a fitted PCA model.
+type Result struct {
+	// Components has one row per principal component and one column per
+	// input metric: Components[k][j] is the loading factor W_{k,j} of
+	// metric j on PRCO k+1 (Equation 1 in the paper).
+	Components [][]float64
+	// Eigenvalues of the correlation matrix, descending.
+	Eigenvalues []float64
+	// ExplainedVariance[k] is Eigenvalues[k] / sum(Eigenvalues): the
+	// fraction of total variance PRCO k+1 covers (the parenthesised
+	// numbers in Table III).
+	ExplainedVariance []float64
+	// Means and Stds are the standardization parameters of the training
+	// data, used to project new observations.
+	Means, Stds []float64
+	// Scores is the training data projected onto all components:
+	// one row per observation, one column per component.
+	Scores [][]float64
+}
+
+// Fit standardizes the row-major observation matrix (rows = workloads,
+// cols = metrics) and computes a full PCA. It returns an error when fewer
+// than two observations or zero metrics are supplied.
+func Fit(rows [][]float64) (*Result, error) {
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 observations, got %d", len(rows))
+	}
+	if len(rows[0]) == 0 {
+		return nil, fmt.Errorf("pca: observations have no metrics")
+	}
+	std, means, stds := stats.Standardize(rows)
+	data := linalg.FromRows(std)
+	cov := linalg.Covariance(data) // correlation matrix, since data is standardized
+	vals, vecs, err := linalg.EigenSym(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
+	}
+	p := len(vals)
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	res := &Result{
+		Components:        make([][]float64, p),
+		Eigenvalues:       vals,
+		ExplainedVariance: make([]float64, p),
+		Means:             means,
+		Stds:              stds,
+	}
+	for k := 0; k < p; k++ {
+		res.Components[k] = vecs.Col(k)
+		if total > 0 && vals[k] > 0 {
+			res.ExplainedVariance[k] = vals[k] / total
+		}
+	}
+	res.Scores = make([][]float64, len(rows))
+	for i, obs := range std {
+		res.Scores[i] = res.projectStandardized(obs)
+	}
+	return res, nil
+}
+
+// projectStandardized maps an already-standardized observation onto all
+// principal components.
+func (r *Result) projectStandardized(obs []float64) []float64 {
+	out := make([]float64, len(r.Components))
+	for k, comp := range r.Components {
+		sum := 0.0
+		for j, w := range comp {
+			sum += w * obs[j]
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Project standardizes a raw observation with the training means/stds and
+// maps it onto the top k principal components.
+func (r *Result) Project(obs []float64, k int) []float64 {
+	if len(obs) != len(r.Means) {
+		panic("pca: Project dimension mismatch")
+	}
+	if k <= 0 || k > len(r.Components) {
+		k = len(r.Components)
+	}
+	std := make([]float64, len(obs))
+	for j := range obs {
+		if r.Stds[j] == 0 {
+			std[j] = 0
+			continue
+		}
+		std[j] = (obs[j] - r.Means[j]) / r.Stds[j]
+	}
+	return r.projectStandardized(std)[:k]
+}
+
+// TopScores returns the training scores truncated to the first k components,
+// the representation hierarchical clustering consumes (§IV-B).
+func (r *Result) TopScores(k int) [][]float64 {
+	if k <= 0 || k > len(r.Components) {
+		k = len(r.Components)
+	}
+	out := make([][]float64, len(r.Scores))
+	for i, s := range r.Scores {
+		out[i] = append([]float64(nil), s[:k]...)
+	}
+	return out
+}
+
+// KaiserCount returns the number of components whose eigenvalue exceeds 1
+// — the classic Kaiser criterion for how many components carry more
+// information than a single standardized metric. The paper fixes four
+// components following prior work; Kaiser gives a data-driven cross-check.
+func (r *Result) KaiserCount() int {
+	n := 0
+	for _, v := range r.Eigenvalues {
+		if v > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// CumulativeVariance returns the total variance fraction covered by the
+// first k components (the "79% of the variance" statement in §IV-A).
+func (r *Result) CumulativeVariance(k int) float64 {
+	if k > len(r.ExplainedVariance) {
+		k = len(r.ExplainedVariance)
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += r.ExplainedVariance[i]
+	}
+	return sum
+}
+
+// Loading identifies one entry of a Table III-style loading report.
+type Loading struct {
+	Metric string
+	Index  int
+	Weight float64
+}
+
+// TopLoadings returns the n loading factors of component k (0-based) with
+// the largest absolute weight, in descending |weight| order, labelled with
+// the provided metric names. This reproduces the per-PRCO columns of
+// Table III.
+func (r *Result) TopLoadings(k, n int, names []string) []Loading {
+	if k < 0 || k >= len(r.Components) {
+		panic(fmt.Sprintf("pca: component %d out of range", k))
+	}
+	comp := r.Components[k]
+	loadings := make([]Loading, len(comp))
+	for j, w := range comp {
+		name := fmt.Sprintf("metric%d", j)
+		if j < len(names) {
+			name = names[j]
+		}
+		loadings[j] = Loading{Metric: name, Index: j, Weight: w}
+	}
+	sort.Slice(loadings, func(a, b int) bool {
+		wa, wb := loadings[a].Weight, loadings[b].Weight
+		if wa < 0 {
+			wa = -wa
+		}
+		if wb < 0 {
+			wb = -wb
+		}
+		if wa != wb {
+			return wa > wb
+		}
+		return loadings[a].Index < loadings[b].Index
+	})
+	if n > len(loadings) {
+		n = len(loadings)
+	}
+	return loadings[:n]
+}

@@ -1,0 +1,249 @@
+package pca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// correlatedData builds n observations where metric 1 = 2*metric0 + noise
+// and metric 2 is independent.
+func correlatedData(seed uint64, n int) [][]float64 {
+	r := rng.New(seed)
+	rows := make([][]float64, n)
+	for i := range rows {
+		x := r.NormFloat64()
+		rows[i] = []float64{x, 2*x + 0.01*r.NormFloat64(), r.NormFloat64()}
+	}
+	return rows
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	if _, err := Fit([][]float64{{1, 2}}); err == nil {
+		t.Fatal("expected error for single observation")
+	}
+	if _, err := Fit([][]float64{{}, {}}); err == nil {
+		t.Fatal("expected error for zero metrics")
+	}
+}
+
+func TestCorrelatedMetricsCollapse(t *testing.T) {
+	res, err := Fit(correlatedData(1, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Metrics 0 and 1 are nearly perfectly correlated, so ~2 effective
+	// dimensions: first two components should explain almost everything.
+	if res.CumulativeVariance(2) < 0.99 {
+		t.Fatalf("two PCs explain only %v of variance", res.CumulativeVariance(2))
+	}
+	// First component should load on metrics 0 and 1 roughly equally
+	// (standardized), and much less on metric 2.
+	c0 := res.Components[0]
+	if math.Abs(c0[2]) > 0.2 {
+		t.Fatalf("PC1 loads %v on the independent metric", c0[2])
+	}
+	if math.Abs(math.Abs(c0[0])-math.Abs(c0[1])) > 0.05 {
+		t.Fatalf("PC1 loadings on correlated metrics differ: %v vs %v", c0[0], c0[1])
+	}
+}
+
+func TestExplainedVarianceSumsToOne(t *testing.T) {
+	res, err := Fit(correlatedData(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.ExplainedVariance {
+		sum += v
+	}
+	if !almost(sum, 1, 1e-9) {
+		t.Fatalf("explained variance sums to %v", sum)
+	}
+	// Descending.
+	for i := 1; i < len(res.ExplainedVariance); i++ {
+		if res.ExplainedVariance[i] > res.ExplainedVariance[i-1]+1e-12 {
+			t.Fatal("explained variance not descending")
+		}
+	}
+}
+
+func TestScoresAreUncorrelatedProperty(t *testing.T) {
+	// The defining property of PCA: projected scores on different
+	// components are linearly uncorrelated.
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 30 + r.Intn(50)
+		m := 3 + r.Intn(5)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, m)
+			base := r.NormFloat64()
+			for j := range rows[i] {
+				rows[i][j] = base*float64(j%2) + r.NormFloat64()
+			}
+		}
+		res, err := Fit(rows)
+		if err != nil {
+			return false
+		}
+		for a := 0; a < m; a++ {
+			for b := a + 1; b < m; b++ {
+				ca := make([]float64, n)
+				cb := make([]float64, n)
+				for i := range res.Scores {
+					ca[i] = res.Scores[i][a]
+					cb[i] = res.Scores[i][b]
+				}
+				if math.Abs(stats.Pearson(ca, cb)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreVarianceMatchesEigenvalueProperty(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 40 + r.Intn(40)
+		m := 3 + r.Intn(4)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, m)
+			for j := range rows[i] {
+				rows[i][j] = r.NormFloat64() * float64(j+1)
+			}
+		}
+		res, err := Fit(rows)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < m; k++ {
+			col := make([]float64, n)
+			for i := range res.Scores {
+				col[i] = res.Scores[i][k]
+			}
+			if !almost(stats.Variance(col), res.Eigenvalues[k], 1e-6*float64(m)+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectMatchesTrainingScores(t *testing.T) {
+	rows := correlatedData(3, 50)
+	res, err := Fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		p := res.Project(row, len(res.Components))
+		for k := range p {
+			if !almost(p[k], res.Scores[i][k], 1e-9) {
+				t.Fatalf("Project disagrees with Scores at obs %d comp %d: %v vs %v", i, k, p[k], res.Scores[i][k])
+			}
+		}
+	}
+}
+
+func TestProjectDimensionMismatchPanics(t *testing.T) {
+	res, _ := Fit(correlatedData(4, 20))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.Project([]float64{1}, 2)
+}
+
+func TestTopScoresTruncation(t *testing.T) {
+	res, _ := Fit(correlatedData(5, 30))
+	ts := res.TopScores(2)
+	if len(ts) != 30 || len(ts[0]) != 2 {
+		t.Fatalf("TopScores shape %dx%d", len(ts), len(ts[0]))
+	}
+	// k out of range clamps to all components.
+	all := res.TopScores(99)
+	if len(all[0]) != 3 {
+		t.Fatalf("TopScores(99) cols = %d", len(all[0]))
+	}
+}
+
+func TestTopLoadingsOrderingAndNames(t *testing.T) {
+	res, _ := Fit(correlatedData(6, 200))
+	names := []string{"L2 MPKI", "I-TLB MPKI", "branch MPKI"}
+	top := res.TopLoadings(0, 2, names)
+	if len(top) != 2 {
+		t.Fatalf("TopLoadings len = %d", len(top))
+	}
+	if math.Abs(top[0].Weight) < math.Abs(top[1].Weight) {
+		t.Fatal("TopLoadings not sorted by |weight|")
+	}
+	for _, l := range top {
+		if l.Metric != names[l.Index] {
+			t.Fatalf("loading name mismatch: %+v", l)
+		}
+	}
+}
+
+func TestConstantColumnHandled(t *testing.T) {
+	rows := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	res, err := Fit(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scores {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("constant column produced NaN/Inf score")
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rows := correlatedData(7, 60)
+	a, _ := Fit(rows)
+	b, _ := Fit(rows)
+	for k := range a.Components {
+		for j := range a.Components[k] {
+			if a.Components[k][j] != b.Components[k][j] {
+				t.Fatal("PCA not deterministic")
+			}
+		}
+	}
+}
+
+func TestKaiserCount(t *testing.T) {
+	// Two highly correlated metrics + one independent: the correlated pair
+	// collapses into one strong component, so Kaiser counts ~2 components
+	// (the pair's, eigenvalue ~2, and the independent one, ~1).
+	res, err := Fit(correlatedData(11, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.KaiserCount()
+	if k < 1 || k > 2 {
+		t.Fatalf("KaiserCount = %d, want 1-2 for 2 effective dimensions", k)
+	}
+	if res.Eigenvalues[0] <= 1 {
+		t.Fatal("dominant eigenvalue should exceed 1")
+	}
+}

@@ -1,0 +1,82 @@
+// Package perf converts raw simulation counters into the paper's 24
+// characterization metrics (Table I), playing the role Linux perf + LTTng
+// post-processing plays in the original study: everything is normalized to
+// percentages, MPKI/PKI rates, or MB/s.
+package perf
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Normalize converts one run's counters into a metrics.Vector.
+func Normalize(res *sim.Result) (metrics.Vector, error) {
+	c := &res.Counters
+	var v metrics.Vector
+	if c.Instructions == 0 {
+		return v, fmt.Errorf("perf: run of %s retired no instructions", res.Workload.Name)
+	}
+	instr := float64(c.Instructions)
+	pki := func(n uint64) float64 { return float64(n) / instr * 1000 }
+
+	kernelPct := float64(c.KernelInstructions) / instr * 100
+	v[metrics.KernelInstructions] = kernelPct
+	v[metrics.UserInstructions] = 100 - kernelPct
+	v[metrics.BranchInstructions] = float64(c.Branches) / instr * 100
+	v[metrics.MemoryLoads] = float64(c.Loads) / instr * 100
+	v[metrics.MemoryStores] = float64(c.Stores) / instr * 100
+
+	v[metrics.CPI] = c.CPI()
+	v[metrics.CPUUsage] = cpuUsage(res)
+
+	v[metrics.BranchMPKI] = pki(c.BranchMisses)
+	v[metrics.L1DMPKI] = pki(c.L1DMisses)
+	v[metrics.L1IMPKI] = pki(c.L1IMisses)
+	v[metrics.L2MPKI] = pki(c.L2Misses)
+	v[metrics.LLCMPKI] = pki(c.L3Misses)
+	v[metrics.ITLBMPKI] = pki(c.ITLBMisses)
+	v[metrics.DTLBLoadMPKI] = pki(c.DTLBLoadMisses)
+	v[metrics.DTLBStoreMPKI] = pki(c.DTLBStoreMisses)
+
+	if c.WallSeconds > 0 {
+		v[metrics.MemReadBW] = float64(c.DRAMReads) * 64 / c.WallSeconds / 1e6
+		v[metrics.MemWriteBW] = float64(c.DRAMWrites) * 64 / c.WallSeconds / 1e6
+	}
+	if c.RowAccesses > 0 {
+		v[metrics.MemPageMissRate] = float64(c.RowMisses) / float64(c.RowAccesses) * 100
+	}
+	v[metrics.PageFaultsPKI] = pki(c.PageFaults)
+
+	v[metrics.GCTriggeredPKI] = pki(c.GCTriggered)
+	v[metrics.GCAllocTickPKI] = pki(c.GCAllocTicks)
+	v[metrics.JITStartedPKI] = pki(c.JITStarts)
+	v[metrics.ExceptionPKI] = pki(c.Exceptions)
+	v[metrics.ContentionPKI] = pki(c.Contentions)
+
+	if err := v.Validate(); err != nil {
+		return v, fmt.Errorf("perf: %s produced an invalid vector: %w", res.Workload.Name, err)
+	}
+	return v, nil
+}
+
+// cpuUsage models the CPU-utilization metric: the share of the machine's
+// logical cores the workload keeps busy, discounted slightly for lock
+// contention (threads sleeping on monitors do not burn CPU).
+func cpuUsage(res *sim.Result) float64 {
+	busy := float64(res.Cores) / float64(res.Machine.VCPUs) * 100
+	contPKI := float64(res.Counters.Contentions) / float64(res.Counters.Instructions) * 1000
+	discount := 1 - contPKI*0.02
+	if discount < 0.7 {
+		discount = 0.7
+	}
+	u := busy * discount
+	if u > 100 {
+		u = 100
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}

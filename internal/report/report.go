@@ -1,0 +1,187 @@
+// Package report serializes measurements and experiment artifacts to CSV
+// and JSON so downstream users can feed the reproduction's data into their
+// own tooling (spreadsheets, plotting, regression tracking) without
+// parsing the CLI's text rendering.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// MeasurementRecord is the flat, serialization-friendly form of one
+// workload measurement.
+type MeasurementRecord struct {
+	Workload string             `json:"workload"`
+	Suite    string             `json:"suite"`
+	Category string             `json:"category,omitempty"`
+	Machine  string             `json:"machine"`
+	Cores    int                `json:"cores"`
+	Error    string             `json:"error,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	TopDown  *TopDownRecord     `json:"topdown,omitempty"`
+}
+
+// TopDownRecord is the level-1 Top-Down profile.
+type TopDownRecord struct {
+	Retiring       float64 `json:"retiring"`
+	BadSpeculation float64 `json:"bad_speculation"`
+	FrontendBound  float64 `json:"frontend_bound"`
+	BackendBound   float64 `json:"backend_bound"`
+}
+
+// FromMeasurements flattens core measurements into records.
+func FromMeasurements(ms []core.Measurement) []MeasurementRecord {
+	out := make([]MeasurementRecord, 0, len(ms))
+	for _, m := range ms {
+		rec := MeasurementRecord{
+			Workload: m.Workload.Name,
+			Suite:    m.Workload.Suite.String(),
+			Category: m.Workload.Category,
+		}
+		if m.Err != nil {
+			rec.Error = m.Err.Error()
+			out = append(out, rec)
+			continue
+		}
+		if m.Result != nil {
+			rec.Machine = m.Result.Machine.Name
+			rec.Cores = m.Result.Cores
+			rec.TopDown = &TopDownRecord{
+				Retiring:       m.Result.Profile.Retiring,
+				BadSpeculation: m.Result.Profile.BadSpeculation,
+				FrontendBound:  m.Result.Profile.FrontendBound,
+				BackendBound:   m.Result.Profile.BackendBound,
+			}
+		}
+		rec.Metrics = make(map[string]float64, metrics.Count)
+		for _, id := range metrics.All() {
+			rec.Metrics[id.Name()] = m.Vector[id]
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// WriteJSON writes records as a JSON array.
+func WriteJSON(w io.Writer, recs []MeasurementRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WriteCSV writes records as CSV: identity columns followed by the 24
+// metric columns in Table I order and the level-1 Top-Down categories.
+func WriteCSV(w io.Writer, recs []MeasurementRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "suite", "category", "machine", "cores", "error"}
+	for _, id := range metrics.All() {
+		header = append(header, id.Name())
+	}
+	header = append(header, "td_retiring", "td_bad_speculation", "td_frontend", "td_backend")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		row := []string{r.Workload, r.Suite, r.Category, r.Machine, strconv.Itoa(r.Cores), r.Error}
+		for _, id := range metrics.All() {
+			row = append(row, formatFloat(r.Metrics[id.Name()]))
+		}
+		if r.TopDown != nil {
+			row = append(row,
+				formatFloat(r.TopDown.Retiring), formatFloat(r.TopDown.BadSpeculation),
+				formatFloat(r.TopDown.FrontendBound), formatFloat(r.TopDown.BackendBound))
+		} else {
+			row = append(row, "", "", "", "")
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}
+
+// SampleRecord is the flat form of one time-bin sample (§VII-A traces).
+type SampleRecord struct {
+	Bin          int     `json:"bin"`
+	Instructions uint64  `json:"instructions"`
+	Cycles       float64 `json:"cycles"`
+	IPC          float64 `json:"ipc"`
+	BranchMisses uint64  `json:"branch_misses"`
+	L1IMisses    uint64  `json:"l1i_misses"`
+	LLCMisses    uint64  `json:"llc_misses"`
+	PageFaults   uint64  `json:"page_faults"`
+	JITStarts    uint64  `json:"jit_starts"`
+	GCTriggered  uint64  `json:"gc_triggered"`
+}
+
+// FromSamples flattens simulator samples.
+func FromSamples(samples []sim.Sample) []SampleRecord {
+	out := make([]SampleRecord, len(samples))
+	for i, s := range samples {
+		out[i] = SampleRecord{
+			Bin:          i,
+			Instructions: s.Instructions,
+			Cycles:       s.Cycles,
+			IPC:          s.IPC(),
+			BranchMisses: s.BranchMisses,
+			L1IMisses:    s.L1IMisses,
+			LLCMisses:    s.LLCMisses,
+			PageFaults:   s.PageFaults,
+			JITStarts:    s.JITStarts,
+			GCTriggered:  s.GCTriggered,
+		}
+	}
+	return out
+}
+
+// WriteSamplesCSV writes sample records as CSV.
+func WriteSamplesCSV(w io.Writer, recs []SampleRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"bin", "instructions", "cycles", "ipc", "branch_misses",
+		"l1i_misses", "llc_misses", "page_faults", "jit_starts", "gc_triggered",
+	}); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.Bin),
+			strconv.FormatUint(r.Instructions, 10),
+			formatFloat(r.Cycles),
+			formatFloat(r.IPC),
+			strconv.FormatUint(r.BranchMisses, 10),
+			strconv.FormatUint(r.L1IMisses, 10),
+			strconv.FormatUint(r.LLCMisses, 10),
+			strconv.FormatUint(r.PageFaults, 10),
+			strconv.FormatUint(r.JITStarts, 10),
+			strconv.FormatUint(r.GCTriggered, 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJSON parses records back (round-trip support for tooling).
+func ReadJSON(r io.Reader) ([]MeasurementRecord, error) {
+	var recs []MeasurementRecord
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&recs); err != nil {
+		return nil, fmt.Errorf("report: decoding JSON: %w", err)
+	}
+	return recs, nil
+}

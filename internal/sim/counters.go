@@ -1,0 +1,166 @@
+// Package sim is the trace-driven execution engine of the reproduction: it
+// runs a workload.Profile against a machine.Config by generating the
+// workload's instruction, branch and memory-address streams and pushing
+// them through the simulated caches, TLBs, branch predictor, shared LLC
+// and managed runtime. Every counter the paper measures with Linux perf,
+// LTTng or toplev is counted here by mechanism.
+package sim
+
+import (
+	"repro/internal/clr"
+	"repro/internal/topdown"
+)
+
+// Counters is the raw measurement ledger of one run — the simulator's
+// equivalent of a perf-stat + LTTng session.
+type Counters struct {
+	Instructions       uint64
+	KernelInstructions uint64
+
+	Branches      uint64
+	TakenBranches uint64
+	BranchMisses  uint64
+	BTBMisses     uint64
+
+	Loads  uint64
+	Stores uint64
+
+	L1IAccesses, L1IMisses uint64
+	L1DAccesses, L1DMisses uint64
+	L2Accesses, L2Misses   uint64
+	L3Accesses, L3Misses   uint64
+
+	ITLBMisses      uint64
+	DTLBLoadMisses  uint64
+	DTLBStoreMisses uint64
+
+	PageFaults uint64
+
+	// DRAM traffic in cache lines.
+	DRAMReads  uint64
+	DRAMWrites uint64
+	// Row-buffer behavior.
+	RowAccesses uint64
+	RowMisses   uint64
+
+	UsefulPrefetches  uint64
+	UselessPrefetches uint64
+
+	Cycles float64 // per-core cycles summed over cores
+
+	// Managed-runtime event totals (zero for native workloads).
+	GCTriggered     uint64
+	GCAllocTicks    uint64
+	JITStarts       uint64
+	Exceptions      uint64
+	Contentions     uint64
+	GCPauseCycles   float64
+	JITCompileInstr uint64
+
+	Slots topdown.Slots
+
+	// Run geometry.
+	ActiveCores int
+	WallSeconds float64 // wall time at the machine's nominal frequency
+}
+
+// Add merges another ledger (per-core merge).
+func (c *Counters) Add(o *Counters) {
+	c.Instructions += o.Instructions
+	c.KernelInstructions += o.KernelInstructions
+	c.Branches += o.Branches
+	c.TakenBranches += o.TakenBranches
+	c.BranchMisses += o.BranchMisses
+	c.BTBMisses += o.BTBMisses
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.L1IAccesses += o.L1IAccesses
+	c.L1IMisses += o.L1IMisses
+	c.L1DAccesses += o.L1DAccesses
+	c.L1DMisses += o.L1DMisses
+	c.L2Accesses += o.L2Accesses
+	c.L2Misses += o.L2Misses
+	c.L3Accesses += o.L3Accesses
+	c.L3Misses += o.L3Misses
+	c.ITLBMisses += o.ITLBMisses
+	c.DTLBLoadMisses += o.DTLBLoadMisses
+	c.DTLBStoreMisses += o.DTLBStoreMisses
+	c.PageFaults += o.PageFaults
+	c.DRAMReads += o.DRAMReads
+	c.DRAMWrites += o.DRAMWrites
+	c.RowAccesses += o.RowAccesses
+	c.RowMisses += o.RowMisses
+	c.UsefulPrefetches += o.UsefulPrefetches
+	c.UselessPrefetches += o.UselessPrefetches
+	c.Cycles += o.Cycles
+	c.GCTriggered += o.GCTriggered
+	c.GCAllocTicks += o.GCAllocTicks
+	c.JITStarts += o.JITStarts
+	c.Exceptions += o.Exceptions
+	c.Contentions += o.Contentions
+	c.GCPauseCycles += o.GCPauseCycles
+	c.JITCompileInstr += o.JITCompileInstr
+	c.Slots.Add(&o.Slots)
+}
+
+// MPKI returns misses per kilo-instruction for a raw miss count.
+func (c *Counters) MPKI(misses uint64) float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(misses) / float64(c.Instructions) * 1000
+}
+
+// CPI returns cycles per instruction (per-core average).
+func (c *Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return c.Cycles / float64(c.Instructions)
+}
+
+// IPC returns instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / c.Cycles
+}
+
+// fillEventTotals copies runtime event counts out of an event log.
+func (c *Counters) fillEventTotals(log *clr.EventLog) {
+	if log == nil {
+		return
+	}
+	c.GCTriggered = log.Count(clr.EvGCTriggered)
+	c.GCAllocTicks = log.Count(clr.EvAllocationTick)
+	c.JITStarts = log.Count(clr.EvJITStarted)
+	c.Exceptions = log.Count(clr.EvException)
+	c.Contentions = log.Count(clr.EvContention)
+}
+
+// Sample is one time-bin of counter deltas, the unit of the §VII-A
+// correlation study (stand-in for a 1 ms LTTng sampling interval).
+type Sample struct {
+	CycleStart, CycleEnd float64
+
+	Instructions uint64
+	Cycles       float64
+	BranchMisses uint64
+	L1IMisses    uint64
+	L2Misses     uint64
+	LLCMisses    uint64
+	PageFaults   uint64
+	UselessPref  uint64
+
+	JITStarts   uint64
+	GCTriggered uint64
+}
+
+// IPC of the sample bin.
+func (s Sample) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Cycles
+}

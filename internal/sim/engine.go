@@ -1,0 +1,544 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/clr"
+	"repro/internal/dram"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/rng"
+	"repro/internal/topdown"
+	"repro/internal/workload"
+)
+
+// Options controls one simulation run.
+type Options struct {
+	// Instructions per core (application instructions; runtime overhead
+	// adds on top). 0 uses DefaultInstructions.
+	Instructions uint64
+	// Cores overrides the workload's DefaultCores when > 0.
+	Cores int
+	// GCMode selects workstation or server GC for managed workloads.
+	GCMode clr.GCMode
+	// MaxHeapBytes caps the managed heap; 0 uses 2000 MiB (the middle of
+	// the paper's Fig 14 sweep).
+	MaxHeapBytes int64
+	// AllocScale is the time-compression factor for heap pressure: the
+	// nursery fills AllocScale times faster than the profile's real
+	// allocation rate, so GC periods that span hundreds of milliseconds
+	// on hardware fall inside the simulation window. Traffic-side effects
+	// (page faults, DRAM writes) use the *real* rate. 0 uses 400.
+	AllocScale float64
+	// Policy selects the cache replacement policy (LRU by default).
+	Policy mem.ReplacementPolicy
+	// DisableWarmup skips the warmup pass whose stats are discarded
+	// (§III-A discards the first of 15 runs).
+	DisableWarmup bool
+	// DisableCompaction turns off GC heap compaction (ablation).
+	DisableCompaction bool
+	// DisableRelocation keeps tiered-up JIT code at its old address
+	// (ablation for the §VII-A1 cold-start effect).
+	DisableRelocation bool
+	// TierUpCalls sets the JIT tier-up threshold; 0 uses 400.
+	TierUpCalls uint64
+	// PrecompiledFrac is the fraction of methods compiled before
+	// measurement (a long-warm process). Negative disables precompilation
+	// entirely (cold-start studies); 0 uses 0.97.
+	PrecompiledFrac float64
+	// SampleInterval, in cycles, enables periodic counter sampling for the
+	// §VII-A correlation study. 0 disables sampling.
+	SampleInterval float64
+	// SeedSalt perturbs the run's RNG stream (distinct measurement runs).
+	SeedSalt uint64
+	// Assist enables the speculative cross-stack hardware optimizations
+	// of §VIII (what-if extensions; see HWAssist).
+	Assist HWAssist
+}
+
+// DefaultInstructions is the per-core instruction budget when Options does
+// not specify one: large enough for cache/TLB steady state on the hot
+// paths, small enough to sweep thousands of workloads.
+const DefaultInstructions = 60_000
+
+// Result is a completed run.
+type Result struct {
+	Workload workload.Profile
+	Machine  *machine.Config
+	Cores    int
+
+	Counters Counters
+	Profile  topdown.Profile
+	Samples  []Sample
+}
+
+const (
+	lineBytes = 64
+	pageBytes = 4096
+
+	kernelCodeBase  = 0xffff_8000_0000_0000
+	kernelDataBase  = 0xffff_9000_0000_0000
+	nativeCodeBase  = 0x0000_5555_0000_0000
+	nativeDataBase  = 0x0000_6000_0000_0000
+	stackBase       = 0x0000_7ffe_0000_0000
+	kernelCodeBytes = 3 << 20
+	kernelMethods   = 1800
+	dataBuckets     = 512
+	warmRegionCap   = 1 << 20 // hot-data tier size cap
+)
+
+// pcHash turns a PC into a stable pseudo-random 53-bit fraction, used to
+// assign each static instruction a fixed kind and each branch site a fixed
+// bias — real code has stable per-site behavior, which is what lets BTBs
+// and predictors work at all.
+func pcHash(pc uint64) float64 {
+	h := pc * 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return float64(h>>11) / (1 << 53)
+}
+
+// core is the per-core simulation state.
+type core struct {
+	id    int
+	r     *rng.Rand
+	dzipf *rng.Zipf // warm-data bucket popularity
+	mzipf *rng.Zipf // method popularity (flatter)
+
+	l1i, l1d, l2 *mem.Cache
+	l3           *mem.Cache // private LLC (nil when shared)
+	tlbs         *mem.TLBSet
+	bp           *branch.Predictor
+
+	// Code walk state.
+	methodID    int
+	pc          uint64
+	methodStart uint64
+	methodEnd   uint64
+	lastILine   uint64
+	lastIPage   uint64
+	callIn      int
+	kernelIn    int // remaining kernel-episode instructions
+	kernelPC    uint64
+	kernelEnd   uint64
+	kernelMeth  int
+	seqAddr     uint64
+	storeStreak int
+
+	allocCarry float64 // fractional real allocation bytes
+
+	c Counters
+}
+
+// engine ties the shared structures together.
+type engine struct {
+	p    workload.Profile
+	m    *machine.Config
+	opts Options
+
+	cores     []*core
+	sharedLLC *noc.SharedLLC
+	mem       *dram.Controller
+
+	// Managed runtime (nil for native workloads).
+	jit  *clr.JIT
+	heap *clr.Heap
+	log  *clr.EventLog
+
+	// Native code layout.
+	nativeAddrs []uint64
+	nativeSizes []int
+
+	// Kernel code layout (static).
+	kernelAddrs []uint64
+	kernelSizes []int
+
+	// Derived parameters.
+	pKernelEnter float64
+	jitChurn     float64 // per-instruction probability of new code paths
+	dsbShare     float64
+	coldFrac     float64 // cold-data tier share of random accesses
+	allocRate    float64 // real allocation bytes per instruction
+	residualPF   float64 // per-instruction residual page-fault probability
+	allocScale   float64
+
+	// Nursery window in real (uncompressed) bytes: the span of fresh
+	// allocation addresses since the last collection. GC compaction resets
+	// it, so the same address window is recycled — cache-hot — on the next
+	// cycle. This is the mechanism behind the paper's finding that GC
+	// *improves* cache behavior (§VII-A2).
+	nurseryReal   float64
+	survivorsReal float64 // grows only when compaction is disabled
+
+	samples      []Sample
+	nextSample   float64
+	prevSnapshot Counters
+
+	effFootprint int // code footprint after stack-friction scaling
+}
+
+// Run executes the workload on the machine and returns counters, a
+// Top-Down profile and (optionally) time samples. It returns heap
+// configuration errors (OutOfMemory, server-GC reservation) unchanged so
+// experiments can reproduce the paper's missing configurations.
+func Run(p workload.Profile, m *machine.Config, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{p: p, m: m, opts: opts}
+	if err := e.setup(); err != nil {
+		return nil, err
+	}
+
+	perCore := opts.Instructions
+	if perCore == 0 {
+		perCore = DefaultInstructions
+	}
+	if !opts.DisableWarmup {
+		e.run(perCore / 4)
+		e.resetStats()
+	}
+	e.nextSample = e.opts.SampleInterval
+	e.run(perCore)
+	return e.finish()
+}
+
+func (e *engine) coreCount() int {
+	n := e.opts.Cores
+	if n <= 0 {
+		n = e.p.DefaultCores
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (e *engine) setup() error {
+	n := e.coreCount()
+
+	// Software-stack friction (§V-D): on an immature platform the managed
+	// stack emits sparser, larger code and allocates with more overhead.
+	e.effFootprint = e.p.CodeFootprintBytes
+	e.allocRate = e.p.AllocBytesPerKI / 1000
+	if e.p.Managed && e.m.StackFriction > 1 {
+		// Code-byte inflation is mild; the real sparsity comes from the
+		// page-aligned layout (PageAlign below).
+		scale := e.m.StackFriction
+		if scale > 1.5 {
+			scale = 1.5
+		}
+		e.effFootprint = int(float64(e.effFootprint) * scale)
+		e.allocRate *= 1 + (e.m.StackFriction-1)/2
+	}
+	e.allocScale = e.opts.AllocScale
+	if e.allocScale <= 0 {
+		e.allocScale = 400
+	}
+	// Residual steady-state fault rate: fresh buffers/LOH pages, roughly
+	// half a page per 2x page-size of allocation.
+	e.residualPF = e.allocRate / pageBytes / 2
+
+	if e.p.Managed {
+		e.log = &clr.EventLog{}
+		tierUp := e.opts.TierUpCalls
+		if tierUp == 0 {
+			tierUp = 400
+		}
+		maxHeap := e.opts.MaxHeapBytes
+		if maxHeap == 0 {
+			maxHeap = 2000 << 20
+		}
+		// Code layout is a property of the binary + JIT version: identical
+		// across measurement runs (SeedSalt must not perturb it, or
+		// run-to-run variance would be inflated far beyond §III-A's <5%).
+		r := rng.NewFrom(e.p.Seed(), rng.HashString(e.m.Name), 1)
+		jit, err := clr.NewJIT(clr.JITConfig{
+			MethodCount:        e.p.MethodCount,
+			CodeBytes:          e.effFootprint,
+			TierUpCalls:        tierUp,
+			RelocationEnabled:  !e.opts.DisableRelocation,
+			CompileCostPerByte: 3,
+			PageAlign:          e.m.StackFriction > 2,
+		}, e.log, r)
+		if err != nil {
+			return err
+		}
+		e.jit = jit
+		pre := e.opts.PrecompiledFrac
+		if pre == 0 {
+			pre = 0.995
+		}
+		if pre > 0 {
+			jit.Precompile(pre, r)
+		}
+		heap, err := clr.NewHeap(clr.HeapConfig{
+			Mode:              e.opts.GCMode,
+			MaxBytes:          maxHeap,
+			Cores:             n,
+			LiveSetBytes:      e.p.WorkingSetBytes,
+			CompactionEnabled: !e.opts.DisableCompaction,
+		}, e.log)
+		if err != nil {
+			return err
+		}
+		e.heap = heap
+		e.jitChurn = 0.008 / 1000 // new code paths per instruction
+		if e.p.Suite == workload.AspNet {
+			e.jitChurn = 0.03 / 1000
+		}
+		// An immature runtime regenerates code more often (§V-D).
+		if e.m.StackFriction > 1 {
+			e.jitChurn *= 1 + (e.m.StackFriction-1)/2
+		}
+	} else {
+		// Static native code layout: methods laid out contiguously once,
+		// identically across runs of the same binary.
+		r := rng.NewFrom(e.p.Seed(), rng.HashString(e.m.Name), 2)
+		e.nativeAddrs = make([]uint64, e.p.MethodCount)
+		e.nativeSizes = make([]int, e.p.MethodCount)
+		next := uint64(nativeCodeBase)
+		mean := e.effFootprint / e.p.MethodCount
+		if mean < 16 {
+			mean = 16
+		}
+		for i := range e.nativeAddrs {
+			size := mean/2 + r.Intn(mean)
+			e.nativeAddrs[i] = next
+			e.nativeSizes[i] = size
+			next += uint64(size)
+		}
+	}
+
+	// Kernel code layout, shared by all workloads on a machine.
+	kr := rng.NewFrom(rng.HashString("kernel"), rng.HashString(e.m.Name))
+	e.kernelAddrs = make([]uint64, kernelMethods)
+	e.kernelSizes = make([]int, kernelMethods)
+	knext := uint64(kernelCodeBase)
+	kmean := kernelCodeBytes / kernelMethods
+	for i := range e.kernelAddrs {
+		size := kmean/2 + kr.Intn(kmean)
+		e.kernelAddrs[i] = knext
+		e.kernelSizes[i] = size
+		knext += uint64(size)
+	}
+
+	// Kernel episodes average ~140 instructions; solve the entry
+	// probability that yields the profile's kernel share.
+	const episodeLen = 140.0
+	if e.p.KernelFrac > 0 && e.p.KernelFrac < 1 {
+		e.pKernelEnter = e.p.KernelFrac / (1 - e.p.KernelFrac) / episodeLen
+	}
+
+	// DSB coverage shrinks as hot code outgrows the uop cache (~32 KiB of
+	// hot code fits); big-footprint managed code decodes through MITE.
+	e.dsbShare = 32.0 * 1024 / float64(e.effFootprint)
+	if e.dsbShare > 0.85 {
+		e.dsbShare = 0.85
+	}
+	if e.dsbShare < 0.10 {
+		e.dsbShare = 0.10
+	}
+
+	// Cold-data tier: the share of random accesses that wander the whole
+	// working set rather than the hot region. High DataZipf = tight
+	// locality = almost no cold wandering.
+	e.coldFrac = 0.35 - e.p.DataZipf*0.30
+	if e.coldFrac < 0 {
+		e.coldFrac = 0
+	}
+
+	ctrl, err := dram.New(dram.Default(e.m.DRAMLat))
+	if err != nil {
+		return err
+	}
+	e.mem = ctrl
+
+	if n > 1 {
+		e.sharedLLC = noc.New(e.m, e.opts.Policy)
+		e.sharedLLC.UseHashedPlacement(e.opts.Assist.HashedSlicePlacement)
+	}
+	// On an immature stack the JIT lacks hot-path tiering and profile-
+	// guided layout, so execution spreads across far more code (§V-D).
+	methodZipf := e.p.MethodZipf
+	if e.p.Managed && e.m.StackFriction > 2 {
+		methodZipf *= 0.45
+	}
+	e.cores = make([]*core, n)
+	for i := 0; i < n; i++ {
+		r := rng.NewFrom(e.p.Seed(), rng.HashString(e.m.Name), e.opts.SeedSalt, uint64(100+i))
+		c := &core{
+			id:    i,
+			r:     r,
+			dzipf: rng.NewZipf(r, dataBuckets, e.p.DataZipf),
+			mzipf: rng.NewZipf(r, dataBuckets, methodZipf),
+			l1i:   mem.NewCache("L1I", e.m.L1I, e.opts.Policy),
+			l1d:   mem.NewCache("L1D", e.m.L1D, e.opts.Policy),
+			l2:    mem.NewCache("L2", e.m.L2, e.opts.Policy),
+			tlbs:  mem.NewTLBSet(e.m),
+			bp:    branch.New(13, e.m.BTBEntries, 4),
+		}
+		if e.sharedLLC == nil {
+			c.l3 = mem.NewCache("L3", e.m.L3, e.opts.Policy)
+		}
+		c.callIn = e.callGap(c)
+		e.switchMethod(c)
+		c.seqAddr = e.dataBase(c) + uint64(c.r.Intn(1<<16))
+		e.cores[i] = c
+	}
+	e.prewarm()
+	return nil
+}
+
+// callGap draws the instruction distance to the next method switch.
+func (e *engine) callGap(c *core) int {
+	gap := e.p.CallEveryInstr
+	if gap < 8 {
+		gap = 8
+	}
+	return gap/2 + c.r.Intn(gap)
+}
+
+// dataBase returns the base address of this core's slice of the data
+// region. Each core works on its natural per-core share (per-request data
+// for ASP.NET), so per-core locality is core-count independent while the
+// total footprint grows with active cores — the §VI-B2 setup.
+func (e *engine) dataBase(c *core) uint64 {
+	span := e.regionSpan()
+	if e.heap != nil {
+		return e.heap.Base() + uint64(c.id)*uint64(span)
+	}
+	return nativeDataBase + uint64(c.id)*uint64(span)
+}
+
+// regionSpan returns the per-core data span. It is stable under normal
+// operation (compaction recycles the nursery window, so live data stays
+// put); only the no-compaction ablation grows it, modeling survivor
+// scatter.
+func (e *engine) regionSpan() int64 {
+	region := e.p.WorkingSetBytes
+	if e.heap != nil {
+		region += int64(e.survivorsReal)
+	}
+	d := int64(e.p.DefaultCores)
+	if d < 1 {
+		d = 1
+	}
+	span := region / d
+	if span < pageBytes {
+		span = pageBytes
+	}
+	return span
+}
+
+// hotMethod picks a method with skewed popularity: real programs
+// concentrate time in a hot subset but still touch a long tail, which is
+// what gives large-footprint code its I-side misses. Popularity is Zipf
+// over method groups (so every method stays reachable when the method
+// count exceeds the bucket count), permuted so hot groups scatter across
+// the code region.
+func (e *engine) hotMethod(c *core, n int) int {
+	b := c.mzipf.Next()
+	group := (b*2654435761 + c.id*977) % n
+	g := n / dataBuckets
+	if g < 1 {
+		return group
+	}
+	return (group + c.r.Intn(g)*dataBuckets) % n
+}
+
+// resetStats discards warmup measurements, keeping learned state warm.
+func (e *engine) resetStats() {
+	for _, c := range e.cores {
+		c.c = Counters{}
+		c.l1i.ResetStats()
+		c.l1d.ResetStats()
+		c.l2.ResetStats()
+		if c.l3 != nil {
+			c.l3.ResetStats()
+		}
+		c.tlbs.ResetStats()
+		c.bp.ResetStats()
+	}
+	if e.sharedLLC != nil {
+		e.sharedLLC.ResetWindow()
+	}
+	e.mem.ResetStats()
+	if e.log != nil {
+		e.log.Reset()
+	}
+	e.samples = e.samples[:0]
+	e.prevSnapshot = Counters{}
+}
+
+// maybeSample records a counter-delta sample when the lead core's clock
+// crosses the next sampling boundary.
+func (e *engine) maybeSample() {
+	lead := e.cores[0]
+	if lead.c.Cycles < e.nextSample {
+		return
+	}
+	e.nextSample += e.opts.SampleInterval
+
+	var agg Counters
+	for _, c := range e.cores {
+		agg.Add(&c.c)
+	}
+	agg.fillEventTotals(e.log)
+	prev := e.prevSnapshot
+	s := Sample{
+		CycleStart:   prev.Cycles,
+		CycleEnd:     agg.Cycles,
+		Instructions: agg.Instructions - prev.Instructions,
+		Cycles:       agg.Cycles - prev.Cycles,
+		BranchMisses: agg.BranchMisses - prev.BranchMisses,
+		L1IMisses:    agg.L1IMisses - prev.L1IMisses,
+		L2Misses:     agg.L2Misses - prev.L2Misses,
+		LLCMisses:    agg.L3Misses - prev.L3Misses,
+		PageFaults:   agg.PageFaults - prev.PageFaults,
+		UselessPref:  agg.UselessPrefetches - prev.UselessPrefetches,
+		JITStarts:    agg.JITStarts - prev.JITStarts,
+		GCTriggered:  agg.GCTriggered - prev.GCTriggered,
+	}
+	e.samples = append(e.samples, s)
+	e.prevSnapshot = agg
+}
+
+// finish merges per-core counters and produces the result.
+func (e *engine) finish() (*Result, error) {
+	var agg Counters
+	for _, c := range e.cores {
+		agg.Add(&c.c)
+	}
+	if e.sharedLLC != nil {
+		// Shared-LLC accounting replaces the (empty) private L3 counters.
+		agg.L3Accesses = e.sharedLLC.Stats.Accesses
+		agg.L3Misses = e.sharedLLC.Stats.Misses
+	}
+	agg.fillEventTotals(e.log)
+	agg.RowAccesses = e.mem.Stats.Accesses()
+	agg.RowMisses = e.mem.Stats.RowMisses + e.mem.Stats.RowConflicts
+	agg.ActiveCores = len(e.cores)
+	agg.Slots.Total = agg.Cycles * float64(e.m.IssueWidth)
+	perCoreCycles := agg.Cycles / float64(len(e.cores))
+	agg.WallSeconds = perCoreCycles / (e.m.NomFreq * 1e9)
+
+	prof, err := topdown.NewProfile(&agg.Slots)
+	if err != nil {
+		return nil, fmt.Errorf("sim: inconsistent slot ledger: %w", err)
+	}
+	return &Result{
+		Workload: e.p,
+		Machine:  e.m,
+		Cores:    len(e.cores),
+		Counters: agg,
+		Profile:  prof,
+		Samples:  e.samples,
+	}, nil
+}

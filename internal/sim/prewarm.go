@@ -1,0 +1,132 @@
+package sim
+
+// prewarm installs the steady-state-resident lines and translations into
+// the memory hierarchy before measurement. The paper measures long-warm
+// processes (15 repetitions with the first discarded; ASP.NET warmed until
+// <5% variance); a short simulation window would otherwise spend itself
+// on cold misses that real measurements amortized away long ago.
+func (e *engine) prewarm() {
+	insertL3 := func(addr uint64) {
+		if e.sharedLLC != nil {
+			e.sharedLLC.Insert(addr)
+		} else {
+			for _, c := range e.cores {
+				c.l3.Insert(addr)
+			}
+		}
+	}
+	// Code regions: application + kernel code are LLC- and L2-resident.
+	var codeStart, codeEnd uint64
+	if e.jit != nil {
+		codeStart, codeEnd = e.jit.CodeRegion()
+	} else {
+		codeStart = nativeCodeBase
+		codeEnd = e.nativeAddrs[len(e.nativeAddrs)-1] + uint64(e.nativeSizes[len(e.nativeSizes)-1])
+	}
+	codeCap := uint64(e.m.L3.SizeBytes / 4)
+	if codeEnd-codeStart > codeCap {
+		codeEnd = codeStart + codeCap
+	}
+	for a := codeStart; a < codeEnd; a += lineBytes {
+		insertL3(a)
+	}
+	kEnd := uint64(kernelCodeBase + kernelCodeBytes)
+	if e.p.KernelFrac > 0.005 {
+		for a := uint64(kernelCodeBase); a < kEnd; a += lineBytes {
+			insertL3(a)
+		}
+	}
+	for _, c := range e.cores {
+		// L2: the start of the code region (hot methods live everywhere in
+		// it, but LRU steady state keeps roughly this much resident).
+		l2Cap := uint64(e.m.L2.SizeBytes / 2)
+		end := codeEnd
+		if end-codeStart > l2Cap {
+			end = codeStart + l2Cap
+		}
+		for a := codeStart; a < end; a += lineBytes {
+			c.l2.Insert(a)
+		}
+		// L1I: the hottest slice of code.
+		for a := codeStart; a < codeStart+16*1024 && a < codeEnd; a += lineBytes {
+			c.l1i.Insert(a)
+		}
+		// Stack frame: L1D-resident.
+		sbase := uint64(stackBase) + uint64(c.id)<<20
+		for a := sbase; a < sbase+pageBytes; a += lineBytes {
+			c.l1d.Insert(a)
+		}
+		c.tlbs.DTLB.Warm(sbase)
+		// Kernel data buffers: L2/LLC-resident.
+		if e.p.KernelFrac > 0.005 {
+			kbase := kernelDataBase + uint64(c.id)<<20
+			for a := kbase; a < kbase+(1<<16); a += lineBytes {
+				c.l2.Insert(a)
+				insertL3(a)
+			}
+			for a := kbase; a < kbase+(1<<16); a += pageBytes {
+				c.tlbs.DTLB.Warm(a)
+			}
+		}
+		// Warm data region: LLC-resident, top slice L2/L1-resident.
+		span := e.regionSpan()
+		warm := span
+		if warm > warmRegionCap {
+			warm = warmRegionCap
+		}
+		base := e.dataBase(c)
+		for a := base; a < base+uint64(warm); a += lineBytes {
+			insertL3(a)
+		}
+		for a := base; a < base+uint64(warm)/4; a += lineBytes {
+			c.l2.Insert(a)
+		}
+		for a := base; a < base+8*1024; a += lineBytes {
+			c.l1d.Insert(a)
+		}
+		// Cold span: LLC-resident while it fits (cache-resident
+		// microbenchmarks); large spans stay cold, as on hardware.
+		if span <= int64(e.m.L3.SizeBytes)/int64(len(e.cores)) {
+			for a := base + uint64(warm); a < base+uint64(span); a += lineBytes {
+				insertL3(a)
+			}
+		}
+		// Nursery window: in steady state the gen0 region's addresses are
+		// recycled every collection cycle and stay cache-resident; only
+		// growth beyond the recycled window is cold.
+		if e.heap != nil {
+			window := e.heap.Gen0Budget() / int64(e.allocScale)
+			if window > 8<<20 {
+				window = 8 << 20
+			}
+			nbase := e.heap.Base() + uint64(e.p.WorkingSetBytes)
+			for a := nbase; a < nbase+uint64(window); a += lineBytes {
+				insertL3(a)
+			}
+			if window <= int64(e.m.L2.SizeBytes)/2 {
+				for a := nbase; a < nbase+uint64(window); a += lineBytes {
+					c.l2.Insert(a)
+				}
+			}
+			for a := nbase; a < nbase+uint64(window); a += pageBytes {
+				c.tlbs.DTLB.Warm(a)
+			}
+		}
+		// TLBs: code pages and warm data pages. A sparse page-aligned code
+		// layout (immature JIT) has far more pages than the TLB hierarchy
+		// holds, so there is no steady warm state to install.
+		if !(e.p.Managed && e.m.StackFriction > 2) {
+			for a := codeStart; a < codeEnd; a += pageBytes {
+				c.tlbs.ITLB.Warm(a)
+			}
+		}
+		if e.p.KernelFrac > 0.005 {
+			for a := uint64(kernelCodeBase); a < kEnd; a += pageBytes {
+				c.tlbs.ITLB.Warm(a)
+			}
+		}
+		for a := base; a < base+uint64(warm); a += pageBytes {
+			c.tlbs.DTLB.Warm(a)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package topdown implements the Top-Down slot-accounting methodology of
+// Yasin (ISPASS 2014), as used by the paper's §VI via the toplev tool.
+//
+// The processor front- and back-end exchange micro-ops through issue slots
+// (IssueWidth per cycle). Every slot in a run is attributed to exactly one
+// leaf bucket: it either retired a micro-op, was flushed by a
+// misspeculation, or was empty because the frontend failed to supply
+// micro-ops or the backend failed to accept them. The level-1 categories
+// (Fig 9) split into the level-2 breakdowns of Fig 10:
+//
+//	Frontend Bound ─ Latency  ─ ICacheMiss | ITLBMiss | BranchResteer | MSSwitch
+//	               └ Bandwidth ─ DSB | MITE
+//	Bad Speculation
+//	Backend Bound  ─ Memory   ─ L1Bound | L2Bound | L3Bound | DRAMBound | StoreBound
+//	               └ Core     ─ Divider | PortsUtil
+//	Retiring
+//
+// The simulator (package sim) charges slots into a Slots accumulator while
+// it executes; Profile turns the raw counts into the percentage stacks the
+// paper's figures plot.
+package topdown
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Slots is the raw slot ledger. All values are in pipeline slots.
+type Slots struct {
+	Total float64 // total slots = cycles * IssueWidth
+
+	Retiring float64
+	BadSpec  float64
+
+	// Frontend latency leaves.
+	FEICache   float64
+	FEITLB     float64
+	FEResteer  float64 // BTB misses / branch re-steers
+	FEMSSwitch float64 // microcode sequencer switches
+
+	// Frontend bandwidth leaves.
+	FEDSB  float64 // decoded stream buffer bandwidth shortfall
+	FEMITE float64 // legacy decode pipeline bandwidth shortfall
+
+	// Backend memory leaves.
+	BEL1Bound   float64 // D-cache latency/bandwidth bound (hits)
+	BEL2Bound   float64
+	BEL3Bound   float64
+	BEDRAMBound float64
+	BEStores    float64
+
+	// Backend core leaves.
+	BEDivider   float64
+	BEPortsUtil float64
+}
+
+// FrontendLatency returns the frontend-latency slot subtotal.
+func (s *Slots) FrontendLatency() float64 {
+	return s.FEICache + s.FEITLB + s.FEResteer + s.FEMSSwitch
+}
+
+// FrontendBandwidth returns the frontend-bandwidth slot subtotal.
+func (s *Slots) FrontendBandwidth() float64 { return s.FEDSB + s.FEMITE }
+
+// Frontend returns all frontend-bound slots.
+func (s *Slots) Frontend() float64 { return s.FrontendLatency() + s.FrontendBandwidth() }
+
+// BackendMemory returns the memory-bound slot subtotal.
+func (s *Slots) BackendMemory() float64 {
+	return s.BEL1Bound + s.BEL2Bound + s.BEL3Bound + s.BEDRAMBound + s.BEStores
+}
+
+// BackendCore returns the core-bound slot subtotal.
+func (s *Slots) BackendCore() float64 { return s.BEDivider + s.BEPortsUtil }
+
+// Backend returns all backend-bound slots.
+func (s *Slots) Backend() float64 { return s.BackendMemory() + s.BackendCore() }
+
+// Attributed returns the sum of every leaf bucket.
+func (s *Slots) Attributed() float64 {
+	return s.Retiring + s.BadSpec + s.Frontend() + s.Backend()
+}
+
+// Add accumulates another ledger into s (used to merge per-core ledgers).
+func (s *Slots) Add(o *Slots) {
+	s.Total += o.Total
+	s.Retiring += o.Retiring
+	s.BadSpec += o.BadSpec
+	s.FEICache += o.FEICache
+	s.FEITLB += o.FEITLB
+	s.FEResteer += o.FEResteer
+	s.FEMSSwitch += o.FEMSSwitch
+	s.FEDSB += o.FEDSB
+	s.FEMITE += o.FEMITE
+	s.BEL1Bound += o.BEL1Bound
+	s.BEL2Bound += o.BEL2Bound
+	s.BEL3Bound += o.BEL3Bound
+	s.BEDRAMBound += o.BEDRAMBound
+	s.BEStores += o.BEStores
+	s.BEDivider += o.BEDivider
+	s.BEPortsUtil += o.BEPortsUtil
+}
+
+// Validate reports an error when the ledger is inconsistent: negative
+// buckets or attribution exceeding the total slot count by more than the
+// given tolerance fraction.
+func (s *Slots) Validate(tol float64) error {
+	for name, v := range map[string]float64{
+		"Total": s.Total, "Retiring": s.Retiring, "BadSpec": s.BadSpec,
+		"FEICache": s.FEICache, "FEITLB": s.FEITLB, "FEResteer": s.FEResteer,
+		"FEMSSwitch": s.FEMSSwitch, "FEDSB": s.FEDSB, "FEMITE": s.FEMITE,
+		"BEL1Bound": s.BEL1Bound, "BEL2Bound": s.BEL2Bound, "BEL3Bound": s.BEL3Bound,
+		"BEDRAMBound": s.BEDRAMBound, "BEStores": s.BEStores,
+		"BEDivider": s.BEDivider, "BEPortsUtil": s.BEPortsUtil,
+	} {
+		if v < 0 {
+			return fmt.Errorf("topdown: bucket %s is negative (%v)", name, v)
+		}
+	}
+	if s.Total <= 0 {
+		return fmt.Errorf("topdown: total slots %v", s.Total)
+	}
+	if s.Attributed() > s.Total*(1+tol) {
+		return fmt.Errorf("topdown: attributed %v exceeds total %v", s.Attributed(), s.Total)
+	}
+	return nil
+}
+
+// Profile is a normalized Top-Down profile: every field is a percentage of
+// total slots. Level-1 fields sum to 100 (any unattributed slots are folded
+// into Retiring at 0-level granularity only if requested; by default the
+// simulator attributes every slot).
+type Profile struct {
+	// Level 1 (Fig 9).
+	Retiring, BadSpeculation, FrontendBound, BackendBound float64
+
+	// Frontend level 2/3 (Fig 10 top).
+	FELatICache, FELatITLB, FELatResteer, FELatMSSwitch float64
+	FEBwDSB, FEBwMITE                                   float64
+
+	// Backend level 2/3 (Fig 10 bottom).
+	MemL1, MemL2, MemL3, MemDRAM, MemStores float64
+	CoreDivider, CorePortsUtil              float64
+}
+
+// NewProfile normalizes a slot ledger into percentages. Unattributed slots
+// (Total - Attributed) are charged to Retiring: the simulator charges
+// stalls explicitly, so an uncharged slot means work flowed through.
+func NewProfile(s *Slots) (Profile, error) {
+	if err := s.Validate(0.01); err != nil {
+		return Profile{}, err
+	}
+	pct := func(v float64) float64 { return v / s.Total * 100 }
+	unattributed := s.Total - s.Attributed()
+	if unattributed < 0 {
+		unattributed = 0
+	}
+	return Profile{
+		Retiring:       pct(s.Retiring + unattributed),
+		BadSpeculation: pct(s.BadSpec),
+		FrontendBound:  pct(s.Frontend()),
+		BackendBound:   pct(s.Backend()),
+
+		FELatICache:   pct(s.FEICache),
+		FELatITLB:     pct(s.FEITLB),
+		FELatResteer:  pct(s.FEResteer),
+		FELatMSSwitch: pct(s.FEMSSwitch),
+		FEBwDSB:       pct(s.FEDSB),
+		FEBwMITE:      pct(s.FEMITE),
+
+		MemL1:         pct(s.BEL1Bound),
+		MemL2:         pct(s.BEL2Bound),
+		MemL3:         pct(s.BEL3Bound),
+		MemDRAM:       pct(s.BEDRAMBound),
+		MemStores:     pct(s.BEStores),
+		CoreDivider:   pct(s.BEDivider),
+		CorePortsUtil: pct(s.BEPortsUtil),
+	}, nil
+}
+
+// Level1Sum returns the sum of the four level-1 categories (should be ~100).
+func (p Profile) Level1Sum() float64 {
+	return p.Retiring + p.BadSpeculation + p.FrontendBound + p.BackendBound
+}
+
+// FrontendBreakdown returns the Fig 10 (top) stack: the distribution of
+// frontend-bound slots across the six frontend leaves, as percentages of
+// all frontend-bound slots (summing to 100 when FrontendBound > 0).
+func (p Profile) FrontendBreakdown() map[string]float64 {
+	total := p.FELatICache + p.FELatITLB + p.FELatResteer + p.FELatMSSwitch + p.FEBwDSB + p.FEBwMITE
+	out := map[string]float64{
+		"FE_ICache":   p.FELatICache,
+		"FE_ITLB":     p.FELatITLB,
+		"FE_Resteer":  p.FELatResteer,
+		"FE_MSSwitch": p.FELatMSSwitch,
+		"FE_DSB":      p.FEBwDSB,
+		"FE_MITE":     p.FEBwMITE,
+	}
+	if total > 0 {
+		for k, v := range out {
+			out[k] = v / total * 100
+		}
+	}
+	return out
+}
+
+// BackendBreakdown returns the Fig 10 (bottom) stack: the distribution of
+// backend-bound slots across the seven backend leaves, as percentages of
+// all backend-bound slots.
+func (p Profile) BackendBreakdown() map[string]float64 {
+	total := p.MemL1 + p.MemL2 + p.MemL3 + p.MemDRAM + p.MemStores + p.CoreDivider + p.CorePortsUtil
+	out := map[string]float64{
+		"MEM_L1":       p.MemL1,
+		"MEM_L2":       p.MemL2,
+		"MEM_L3":       p.MemL3,
+		"MEM_DRAM":     p.MemDRAM,
+		"MEM_Stores":   p.MemStores,
+		"CR_Divider":   p.CoreDivider,
+		"CR_PortsUtil": p.CorePortsUtil,
+	}
+	if total > 0 {
+		for k, v := range out {
+			out[k] = v / total * 100
+		}
+	}
+	return out
+}
+
+// String renders the level-1 profile compactly.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "retiring %.1f%% | bad-spec %.1f%% | frontend %.1f%% | backend %.1f%%",
+		p.Retiring, p.BadSpeculation, p.FrontendBound, p.BackendBound)
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package topdown
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sampleSlots() *Slots {
+	return &Slots{
+		Total:    1000,
+		Retiring: 400,
+		BadSpec:  50,
+
+		FEICache: 40, FEITLB: 20, FEResteer: 30, FEMSSwitch: 10,
+		FEDSB: 50, FEMITE: 50,
+
+		BEL1Bound: 80, BEL2Bound: 40, BEL3Bound: 60, BEDRAMBound: 100, BEStores: 20,
+		BEDivider: 10, BEPortsUtil: 40,
+	}
+}
+
+func TestSubtotals(t *testing.T) {
+	s := sampleSlots()
+	if s.FrontendLatency() != 100 {
+		t.Fatalf("FE latency = %v", s.FrontendLatency())
+	}
+	if s.FrontendBandwidth() != 100 {
+		t.Fatalf("FE bandwidth = %v", s.FrontendBandwidth())
+	}
+	if s.Frontend() != 200 {
+		t.Fatalf("FE = %v", s.Frontend())
+	}
+	if s.BackendMemory() != 300 {
+		t.Fatalf("BE mem = %v", s.BackendMemory())
+	}
+	if s.BackendCore() != 50 {
+		t.Fatalf("BE core = %v", s.BackendCore())
+	}
+	if s.Attributed() != 1000 {
+		t.Fatalf("attributed = %v", s.Attributed())
+	}
+}
+
+func TestProfileLevel1SumsTo100(t *testing.T) {
+	p, err := NewProfile(sampleSlots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Level1Sum()-100) > 1e-9 {
+		t.Fatalf("level 1 sums to %v", p.Level1Sum())
+	}
+	if p.Retiring != 40 || p.BadSpeculation != 5 || p.FrontendBound != 20 || p.BackendBound != 35 {
+		t.Fatalf("profile %+v", p)
+	}
+}
+
+func TestUnattributedGoesToRetiring(t *testing.T) {
+	s := &Slots{Total: 100, Retiring: 50, BadSpec: 10}
+	p, err := NewProfile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Retiring != 90 {
+		t.Fatalf("unattributed slots should fold into retiring: %v", p.Retiring)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	s := sampleSlots()
+	s.Retiring = -1
+	if s.Validate(0.01) == nil {
+		t.Fatal("negative bucket accepted")
+	}
+
+	s = sampleSlots()
+	s.Total = 0
+	if s.Validate(0.01) == nil {
+		t.Fatal("zero total accepted")
+	}
+
+	s = sampleSlots()
+	s.Total = 500 // attribution exceeds total
+	if s.Validate(0.01) == nil {
+		t.Fatal("over-attribution accepted")
+	}
+}
+
+func TestAddMerges(t *testing.T) {
+	a, b := sampleSlots(), sampleSlots()
+	a.Add(b)
+	if a.Total != 2000 || a.Retiring != 800 || a.BEL3Bound != 120 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestFrontendBreakdownSumsTo100(t *testing.T) {
+	p, _ := NewProfile(sampleSlots())
+	fb := p.FrontendBreakdown()
+	sum := 0.0
+	for _, v := range fb {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("frontend breakdown sums to %v", sum)
+	}
+	if fb["FE_DSB"] != 25 { // 50 of 200 frontend slots
+		t.Fatalf("FE_DSB = %v", fb["FE_DSB"])
+	}
+}
+
+func TestBackendBreakdownSumsTo100(t *testing.T) {
+	p, _ := NewProfile(sampleSlots())
+	bb := p.BackendBreakdown()
+	sum := 0.0
+	for _, v := range bb {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-9 {
+		t.Fatalf("backend breakdown sums to %v", sum)
+	}
+	if math.Abs(bb["MEM_DRAM"]-100.0*100/350) > 1e-9 {
+		t.Fatalf("MEM_DRAM = %v", bb["MEM_DRAM"])
+	}
+}
+
+func TestEmptyBreakdownsNoNaN(t *testing.T) {
+	s := &Slots{Total: 100, Retiring: 100}
+	p, _ := NewProfile(s)
+	for k, v := range p.FrontendBreakdown() {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN in frontend breakdown %s", k)
+		}
+	}
+	for k, v := range p.BackendBreakdown() {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN in backend breakdown %s", k)
+		}
+	}
+}
+
+func TestProfileProperty(t *testing.T) {
+	// Any valid ledger yields a profile whose level-1 sums to 100 and whose
+	// fields are in [0, 100].
+	prop := func(seed uint64) bool {
+		r := rng.New(seed)
+		buckets := make([]float64, 15)
+		sum := 0.0
+		for i := range buckets {
+			buckets[i] = r.Float64() * 100
+			sum += buckets[i]
+		}
+		s := &Slots{
+			Total:    sum * (1 + r.Float64()), // total >= attributed
+			Retiring: buckets[0], BadSpec: buckets[1],
+			FEICache: buckets[2], FEITLB: buckets[3], FEResteer: buckets[4], FEMSSwitch: buckets[5],
+			FEDSB: buckets[6], FEMITE: buckets[7],
+			BEL1Bound: buckets[8], BEL2Bound: buckets[9], BEL3Bound: buckets[10],
+			BEDRAMBound: buckets[11], BEStores: buckets[12],
+			BEDivider: buckets[13], BEPortsUtil: buckets[14],
+		}
+		p, err := NewProfile(s)
+		if err != nil {
+			return false
+		}
+		if math.Abs(p.Level1Sum()-100) > 1e-6 {
+			return false
+		}
+		for _, v := range []float64{p.Retiring, p.BadSpeculation, p.FrontendBound, p.BackendBound} {
+			if v < 0 || v > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	p, _ := NewProfile(sampleSlots())
+	s := p.String()
+	for _, want := range []string{"retiring", "frontend", "backend", "bad-spec"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

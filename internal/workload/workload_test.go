@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDotNetCategoryCount(t *testing.T) {
+	cats := DotNetCategories()
+	if len(cats) != DotNetCategoryCount || DotNetCategoryCount != 44 {
+		t.Fatalf("got %d categories, paper says 44", len(cats))
+	}
+	names := make(map[string]bool)
+	for _, c := range cats {
+		if names[c.Name] {
+			t.Fatalf("duplicate category %q", c.Name)
+		}
+		names[c.Name] = true
+		if err := c.Validate(); err != nil {
+			t.Fatalf("category %s invalid: %v", c.Name, err)
+		}
+		if !c.Managed {
+			t.Fatalf("category %s must be managed", c.Name)
+		}
+	}
+}
+
+func TestDotNetWorkloadCount(t *testing.T) {
+	ws := DotNetWorkloads()
+	if len(ws) != DotNetWorkloadCount || DotNetWorkloadCount != 2906 {
+		t.Fatalf("got %d workloads, paper says 2906", len(ws))
+	}
+	// Spot-validate a deterministic sample rather than all 2906.
+	for i := 0; i < len(ws); i += 97 {
+		if err := ws[i].Validate(); err != nil {
+			t.Fatalf("workload %s invalid: %v", ws[i].Name, err)
+		}
+	}
+}
+
+func TestTableIVSubsetCategoriesPresent(t *testing.T) {
+	// The paper's 8-category subset must exist and sum to 305 workloads.
+	subset := []string{
+		"System.Runtime", "System.Threading", "System.ComponentModel",
+		"System.Linq", "System.Net", "System.MathBenchmarks",
+		"System.Diagnostics", "CscBench",
+	}
+	total := 0
+	for _, name := range subset {
+		found := false
+		for _, c := range dotNetCategories {
+			if c.Name == name {
+				found = true
+				total += c.Count
+			}
+		}
+		if !found {
+			t.Fatalf("Table IV category %q missing", name)
+		}
+	}
+	if total != 305 {
+		t.Fatalf("Table IV subset holds %d workloads, paper says 305", total)
+	}
+}
+
+func TestAspNetWorkloads(t *testing.T) {
+	ws := AspNetWorkloads()
+	if len(ws) != AspNetWorkloadCount || AspNetWorkloadCount != 53 {
+		t.Fatalf("got %d ASP.NET workloads, paper says 53", len(ws))
+	}
+	names := make(map[string]bool)
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Fatalf("duplicate %q", w.Name)
+		}
+		names[w.Name] = true
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", w.Name, err)
+		}
+		if !w.Managed || w.Suite != AspNet {
+			t.Fatalf("%s misconfigured", w.Name)
+		}
+		if w.DefaultCores < 2 {
+			t.Fatalf("%s: ASP.NET workloads run many-core", w.Name)
+		}
+		if w.WorkingSetBytes >= 500*mib {
+			t.Fatalf("%s: ASP.NET working sets are all under 500MiB (§VI-B2)", w.Name)
+		}
+	}
+	// Table IV representatives exist.
+	for _, name := range []string{
+		"DbFortunesRaw", "MvcDbFortunesRaw", "MvcDbMultiUpdateRaw", "Plaintext",
+		"Json", "CopyToAsync", "MvcJsonNetOutput2M", "MvcJsonNetInput2M",
+	} {
+		if _, ok := ByName(ws, name); !ok {
+			t.Fatalf("Table IV ASP.NET workload %q missing", name)
+		}
+	}
+}
+
+func TestSpecWorkloads(t *testing.T) {
+	ws := SpecWorkloads()
+	if len(ws) < 16 {
+		t.Fatalf("SPEC catalog too small: %d", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", w.Name, err)
+		}
+		if w.Managed {
+			t.Fatalf("%s: SPEC workloads are native", w.Name)
+		}
+		if w.KernelFrac > 0.05 {
+			t.Fatalf("%s: SPEC kernel share should be tiny (Fig 3)", w.Name)
+		}
+	}
+	for _, name := range []string{"mcf", "cactuBSSN", "wrf", "gcc", "omnetpp", "perlbench", "xalancbmk", "bwaves"} {
+		if _, ok := ByName(ws, name); !ok {
+			t.Fatalf("Table IV SPEC workload %q missing", name)
+		}
+	}
+}
+
+func TestInstructionMixGeomeans(t *testing.T) {
+	// Fig 4: SPEC has more loads (GM 35.2% vs ~29%) and fewer stores
+	// (GM 11.5% vs ~16%) than the managed suites.
+	gm := func(ps []Profile, f func(Profile) float64) float64 {
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = f(p)
+		}
+		return stats.GeoMean(vals)
+	}
+	spec, dn, asp := SpecWorkloads(), DotNetCategories(), AspNetWorkloads()
+
+	specLoads := gm(spec, func(p Profile) float64 { return p.LoadFrac })
+	dnLoads := gm(dn, func(p Profile) float64 { return p.LoadFrac })
+	aspLoads := gm(asp, func(p Profile) float64 { return p.LoadFrac })
+	if !(specLoads > dnLoads && specLoads > aspLoads) {
+		t.Fatalf("SPEC loads GM %.3f should exceed .NET %.3f and ASP.NET %.3f", specLoads, dnLoads, aspLoads)
+	}
+	if specLoads < 0.30 || specLoads > 0.40 {
+		t.Fatalf("SPEC loads GM %.3f, paper: 35.2%%", specLoads)
+	}
+
+	specStores := gm(spec, func(p Profile) float64 { return p.StoreFrac })
+	dnStores := gm(dn, func(p Profile) float64 { return p.StoreFrac })
+	aspStores := gm(asp, func(p Profile) float64 { return p.StoreFrac })
+	if !(specStores < dnStores && specStores < aspStores) {
+		t.Fatalf("SPEC stores GM %.3f should be below .NET %.3f and ASP.NET %.3f", specStores, dnStores, aspStores)
+	}
+	if specStores < 0.08 || specStores > 0.15 {
+		t.Fatalf("SPEC stores GM %.3f, paper: 11.5%%", specStores)
+	}
+}
+
+func TestBranchDiversity(t *testing.T) {
+	// §V-B: SPEC branch shares are far more diverse than the managed
+	// suites (xalancbmk high, FP programs low).
+	spread := func(ps []Profile) float64 {
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = p.BranchFrac
+		}
+		return stats.StdDev(vals)
+	}
+	if spread(SpecWorkloads()) <= spread(AspNetWorkloads())*2 {
+		t.Fatalf("SPEC branch diversity %.4f should far exceed ASP.NET %.4f",
+			spread(SpecWorkloads()), spread(AspNetWorkloads()))
+	}
+}
+
+func TestKernelShareOrdering(t *testing.T) {
+	// Fig 3: ASP.NET >> .NET >> SPEC in kernel instruction share.
+	mean := func(ps []Profile) float64 {
+		vals := make([]float64, len(ps))
+		for i, p := range ps {
+			vals[i] = p.KernelFrac
+		}
+		return stats.Mean(vals)
+	}
+	asp, dn, spec := mean(AspNetWorkloads()), mean(DotNetCategories()), mean(SpecWorkloads())
+	if !(asp > dn && dn > spec) {
+		t.Fatalf("kernel share ordering violated: asp=%.3f dotnet=%.3f spec=%.3f", asp, dn, spec)
+	}
+	if asp < 0.25 {
+		t.Fatalf("ASP.NET kernel share %.3f too low for the networking stack", asp)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := DotNetWorkloads()
+	b := DotNetWorkloads()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workload %d differs between generations", i)
+		}
+	}
+	if a[0].Seed() != b[0].Seed() {
+		t.Fatal("seeds not deterministic")
+	}
+	if a[0].Seed() == a[1].Seed() {
+		t.Fatal("distinct workloads share a seed")
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if DotNet.String() != ".NET" || AspNet.String() != "ASP.NET" || SpecCPU17.String() != "SPEC CPU17" {
+		t.Fatal("suite names")
+	}
+	if Suite(9).String() != "Suite(9)" {
+		t.Fatal("unknown suite formatting")
+	}
+}
+
+func TestFilterCategory(t *testing.T) {
+	ws := DotNetWorkloads()
+	runtime := FilterCategory(ws, "System.Runtime")
+	if len(runtime) != 120 {
+		t.Fatalf("System.Runtime has %d workloads, catalog says 120", len(runtime))
+	}
+	for _, w := range runtime {
+		if w.Category != "System.Runtime" {
+			t.Fatal("filter leaked other categories")
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	base := dotNetBase()
+	base.Name = "x"
+
+	p := base
+	p.BranchFrac = 0.9 // mix sums > 1
+	if p.Validate() == nil {
+		t.Fatal("invalid mix accepted")
+	}
+
+	p = base
+	p.BranchPredictability = 0.3
+	if p.Validate() == nil {
+		t.Fatal("predictability < 0.5 accepted")
+	}
+
+	p = base
+	p.Managed = false // keeps alloc rates -> invalid
+	if p.Validate() == nil {
+		t.Fatal("native profile with managed rates accepted")
+	}
+
+	p = base
+	p.Name = ""
+	if p.Validate() == nil {
+		t.Fatal("unnamed profile accepted")
+	}
+}
+
+func TestDotNetFamilies(t *testing.T) {
+	ws := DotNetWorkloads()
+	if len(ws) != 2906 {
+		t.Fatalf("family naming changed the count: %d", len(ws))
+	}
+	names := make(map[string]bool, len(ws))
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Fatalf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+	}
+	// Named families appear for categories with family tables.
+	famSeen := map[string]bool{}
+	for _, w := range FilterCategory(ws, "System.Collections") {
+		// Name shape: System.Collections.<Family>.<NN>
+		parts := strings.Split(w.Name, ".")
+		famSeen[parts[len(parts)-2]] = true
+	}
+	for _, fam := range []string{"Dictionary", "List", "Queue", "ConcurrentDictionary"} {
+		if !famSeen[fam] {
+			t.Fatalf("family %s missing from System.Collections (saw %v)", fam, famSeen)
+		}
+	}
+	// Family adjustments must keep every profile valid.
+	for i := 0; i < len(ws); i += 53 {
+		if err := ws[i].Validate(); err != nil {
+			t.Fatalf("%s: %v", ws[i].Name, err)
+		}
+	}
+	// Families differentiate behavior within a category: the Queue family
+	// should be more sequential than the HashSet family on average.
+	seqOf := func(fam string) float64 {
+		var sum float64
+		var n int
+		for _, w := range FilterCategory(ws, "System.Collections") {
+			if strings.Contains(w.Name, "."+fam+".") {
+				sum += w.SequentialFrac
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	if seqOf("Queue") <= seqOf("HashSet") {
+		t.Fatalf("Queue family (%.2f) should be more sequential than HashSet (%.2f)",
+			seqOf("Queue"), seqOf("HashSet"))
+	}
+}
