@@ -1,0 +1,167 @@
+// Command charnet-vet runs the repository's determinism-and-correctness
+// lint suite (internal/analysis) over the module and reports findings as
+//
+//	file:line: analyzer: message
+//
+// It exits nonzero when any finding survives. Intentional violations are
+// suppressed in source with a justified directive on the offending line or
+// the line above:
+//
+//	//charnet:ignore <analyzer> <reason>
+//
+// Usage:
+//
+//	charnet-vet [-list] [packages ...]
+//
+// Packages are go list patterns (default ./...) resolved from the module
+// root; a plain directory path is analyzed directly, which is how the
+// fixture tests drive the tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// outf writes best-effort console output.
+func outf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...) //charnet:ignore errdiscard console output is best-effort
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("charnet-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	verbose := fs.Bool("v", false, "print type-check warnings to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			outf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		outf(stderr, "charnet-vet: %v\n", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, listPatterns, err := resolveTargets(moduleDir, patterns)
+	if err != nil {
+		outf(stderr, "charnet-vet: %v\n", err)
+		return 2
+	}
+
+	runner := analysis.NewRunner(moduleDir)
+	if len(listPatterns) > 0 {
+		runner.Prewarm(listPatterns...)
+	}
+	findings, err := runner.Run(targets)
+	if err != nil {
+		outf(stderr, "charnet-vet: %v\n", err)
+		return 2
+	}
+	if *verbose {
+		for _, w := range runner.TypeErrors {
+			outf(stderr, "charnet-vet: warning: %s\n", w)
+		}
+	}
+	cwd, _ := os.Getwd() //charnet:ignore errdiscard relative display paths are cosmetic
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		outf(stdout, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the enclosing
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// resolveTargets turns CLI arguments into analysis targets. Existing
+// directories are taken as-is with a pseudo import path; everything else
+// goes through `go list`. The go list patterns are also returned so the
+// importer can prewarm its export-data cache in one subprocess.
+func resolveTargets(moduleDir string, patterns []string) ([]analysis.Target, []string, error) {
+	var targets []analysis.Target
+	var listArgs []string
+	for _, p := range patterns {
+		if info, err := os.Stat(p); err == nil && info.IsDir() {
+			abs, err := filepath.Abs(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			targets = append(targets, analysis.Target{Dir: abs, Path: pseudoPath(moduleDir, abs)})
+			continue
+		}
+		listArgs = append(listArgs, p)
+	}
+	if len(listArgs) > 0 {
+		cmd := exec.Command("go", append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}", "--"}, listArgs...)...)
+		cmd.Dir = moduleDir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, nil, fmt.Errorf("go list %s: %v", strings.Join(listArgs, " "), err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			dir, path, ok := strings.Cut(line, "\t")
+			if ok && dir != "" {
+				targets = append(targets, analysis.Target{Dir: dir, Path: path})
+			}
+		}
+	}
+	return targets, listArgs, nil
+}
+
+// pseudoPath derives an import path for a bare directory: the part after
+// testdata/src/ when present (fixture convention), else the module-relative
+// path under the module name.
+func pseudoPath(moduleDir, dir string) string {
+	slashed := filepath.ToSlash(dir)
+	if _, after, ok := strings.Cut(slashed, "/testdata/src/"); ok {
+		return after
+	}
+	if rel, err := filepath.Rel(moduleDir, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		return "repro/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(dir)
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src"
+
+func runVet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestVetFindsFixtureViolations(t *testing.T) {
+	code, out, errOut := runVet(t, filepath.Join(fixtureRoot, "repro/internal/sim/nondetfix"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut)
+	}
+	for _, want := range []string{
+		"nondetfix.go:6: nondeterminism: import of math/rand",
+		"nondetfix.go:13: nondeterminism: time.Now",
+		"nondetfix.go:14: nondeterminism: time.Since",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestVetCleanDirExitsZero(t *testing.T) {
+	code, out, errOut := runVet(t, filepath.Join(fixtureRoot, "repro/internal/report/timeok"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if out != "" {
+		t.Fatalf("clean run should print nothing, got %q", out)
+	}
+}
+
+func TestVetSuppressionsApply(t *testing.T) {
+	code, out, _ := runVet(t, filepath.Join(fixtureRoot, "repro/internal/stats/suppressfix"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	// Of five exact float comparisons, two carry valid suppressions; the
+	// wrong-analyzer, missing-reason and unknown-analyzer ones survive,
+	// and the two malformed directives are themselves reported.
+	if n := strings.Count(out, "floateq: exact float"); n != 3 {
+		t.Errorf("got %d surviving floateq findings, want 3:\n%s", n, out)
+	}
+	if n := strings.Count(out, "malformed suppression"); n != 2 {
+		t.Errorf("got %d malformed-directive findings, want 2:\n%s", n, out)
+	}
+}
+
+func TestVetList(t *testing.T) {
+	code, out, _ := runVet(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"nondeterminism", "maporder", "floateq", "zerorng", "errdiscard"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestPseudoPath(t *testing.T) {
+	if got := pseudoPath("/m", "/m/internal/analysis/testdata/src/repro/internal/sim/x"); got != "repro/internal/sim/x" {
+		t.Errorf("testdata pseudo path = %q", got)
+	}
+	if got := pseudoPath("/m", "/m/internal/rng"); got != "repro/internal/rng" {
+		t.Errorf("module-relative pseudo path = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import "testing"
+
+func TestNondeterminismFixture(t *testing.T) {
+	checkGolden(t, "nondeterminism", runFixture(t, "repro/internal/sim/nondetfix", Nondeterminism))
+}
+
+// TestNondeterminismUnrestricted: wall-clock reads outside the simulation
+// packages are not the analyzer's business.
+func TestNondeterminismUnrestricted(t *testing.T) {
+	if got := runFixture(t, "repro/internal/report/timeok", Nondeterminism); len(got) != 0 {
+		t.Fatalf("unexpected findings outside restricted packages: %v", got)
+	}
+}
+
+func TestRestrictedPaths(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/sim":           true,
+		"repro/internal/sim/nondetfix": true,
+		"repro/internal/sim.test":      true,
+		"repro/internal/simulator":     false, // prefix must stop at a path boundary
+		"repro/internal/report":        false,
+		"repro/internal/rng":           false,
+	} {
+		if got := restricted(path); got != want {
+			t.Errorf("restricted(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestMapOrderFixture(t *testing.T) {
+	checkGolden(t, "maporder", runFixture(t, "repro/internal/report/maporderfix", MapOrder))
+}
+
+func TestFloatEqFixture(t *testing.T) {
+	checkGolden(t, "floateq", runFixture(t, "repro/internal/stats/floateqfix", FloatEq))
+}
+
+func TestZeroRNGFixture(t *testing.T) {
+	checkGolden(t, "zerorng", runFixture(t, "repro/internal/sim/zerorngfix", ZeroRNG))
+}
+
+// TestZeroRNGSelfExempt: package rng itself constructs the value it seeds.
+func TestZeroRNGSelfExempt(t *testing.T) {
+	r := NewRunner("../..")
+	r.Analyzers = []*Analyzer{ZeroRNG}
+	findings, err := r.Run([]Target{{Dir: "../rng", Path: "repro/internal/rng"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("zerorng must not fire inside package rng: %v", findings)
+	}
+}
+
+func TestErrDiscardFixture(t *testing.T) {
+	checkGolden(t, "errdiscard", runFixture(t, "repro/internal/report/errdiscardfix", ErrDiscard))
+}
+
+// TestSuppressFixture runs the full suite so malformed directives are
+// reported alongside the surviving floateq findings.
+func TestSuppressFixture(t *testing.T) {
+	checkGolden(t, "suppress", runFixture(t, "repro/internal/stats/suppressfix"))
+}
+
+func TestByName(t *testing.T) {
+	if ByName("maporder") != MapOrder {
+		t.Fatal("ByName(maporder)")
+	}
+	if ByName("nosuch") != nil {
+		t.Fatal("ByName(nosuch) should be nil")
+	}
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Target is one directory to analyze, with the import path its findings
+// should be attributed to. For fixture directories under a testdata/src/
+// tree the path is the pseudo import path after "src/".
+type Target struct {
+	Dir  string
+	Path string
+}
+
+// A Runner loads, type-checks and analyzes targets. It is not safe for
+// concurrent use; the import cache and FileSet are shared across targets.
+type Runner struct {
+	ModuleDir string
+	Analyzers []*Analyzer
+
+	fset *token.FileSet
+	imp  types.Importer
+	// TypeErrors collects non-fatal type-check diagnostics per target, for
+	// surfacing as warnings (missing type info weakens analyzers).
+	TypeErrors []string
+}
+
+// NewRunner returns a Runner over the module rooted at moduleDir using the
+// full analyzer suite.
+func NewRunner(moduleDir string) *Runner {
+	fset := token.NewFileSet()
+	return &Runner{
+		ModuleDir: moduleDir,
+		Analyzers: All(),
+		fset:      fset,
+		imp:       NewImporter(fset, moduleDir),
+	}
+}
+
+// Prewarm batch-resolves export data for the given go list patterns.
+func (r *Runner) Prewarm(patterns ...string) {
+	if e, ok := r.imp.(*exportImporter); ok {
+		e.Prewarm(patterns...)
+	}
+}
+
+// Run analyzes every target and returns the surviving findings, sorted by
+// file, line and analyzer. Suppressed findings are dropped; malformed
+// suppression directives are reported as "ignore" findings.
+func (r *Runner) Run(targets []Target) ([]Finding, error) {
+	var all []Finding
+	for _, t := range targets {
+		fs, err := r.runTarget(t)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}
+
+// runTarget analyzes the package units in one directory.
+func (r *Runner) runTarget(t Target) ([]Finding, error) {
+	units, err := r.load(t)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, u := range units {
+		var raw []Finding
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     t.Path,
+				Fset:     r.fset,
+				Files:    u.files,
+				Pkg:      u.pkg,
+				Info:     u.info,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+		dirs := parseDirectives(r.fset, u.files, knownAnalyzers(r.Analyzers))
+		out = append(out, applySuppressions(raw, dirs)...)
+	}
+	return out, nil
+}
+
+// unit is one type-checked set of files: the package proper together with
+// its in-package tests, or the external _test package.
+type unit struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// load parses the .go files of t.Dir and type-checks them as up to two
+// units (package + external test package). Type errors are tolerated —
+// analyzers degrade gracefully on missing info — but are recorded in
+// r.TypeErrors.
+func (r *Runner) load(t Target) ([]*unit, error) {
+	entries, err := os.ReadDir(t.Dir)
+	if err != nil {
+		return nil, err
+	}
+	byPkg := map[string][]*ast.File{}
+	var pkgNames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(r.fset, filepath.Join(t.Dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		name := f.Name.Name
+		if _, seen := byPkg[name]; !seen {
+			pkgNames = append(pkgNames, name)
+		}
+		byPkg[name] = append(byPkg[name], f)
+	}
+	sort.Strings(pkgNames)
+
+	var units []*unit
+	for _, name := range pkgNames {
+		path := t.Path
+		if strings.HasSuffix(name, "_test") {
+			path += ".test"
+		}
+		files := byPkg[name]
+		info := &types.Info{
+			Types:     map[ast.Expr]types.TypeAndValue{},
+			Uses:      map[*ast.Ident]types.Object{},
+			Defs:      map[*ast.Ident]types.Object{},
+			Implicits: map[ast.Node]types.Object{},
+		}
+		conf := types.Config{
+			Importer:    r.imp,
+			FakeImportC: true,
+			Error: func(err error) {
+				r.TypeErrors = append(r.TypeErrors, fmt.Sprintf("%s: %v", t.Path, err))
+			},
+		}
+		pkg, _ := conf.Check(path, r.fset, files, info) //charnet:ignore errdiscard type errors are collected via conf.Error; partial packages are expected
+		units = append(units, &unit{files: files, pkg: pkg, info: info})
+	}
+	return units, nil
+}
+
+func knownAnalyzers(as []*Analyzer) map[string]bool {
+	m := map[string]bool{}
+	for _, a := range as {
+		m[a.Name] = true
+	}
+	return m
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDiscard flags silently ignored error returns outside _test.go files:
+// blank-assigned error results (`v, _ := f()`, `_ = f()`) and bare call
+// statements that drop an error. Exempt by design, because their errors
+// are documented or conventionally meaningless: fmt.Print* to stdout,
+// fmt.Fprint* into a *strings.Builder, *bytes.Buffer, os.Stdout or
+// os.Stderr, and Write* methods on those in-memory buffers.
+var ErrDiscard = &Analyzer{
+	Name: "errdiscard",
+	Doc:  "flag ignored error returns outside tests",
+	Run:  runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type()
+	isErr := func(t types.Type) bool { return t != nil && types.Identical(t, errType) }
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, v, isErr)
+			case *ast.ExprStmt:
+				if call, ok := v.X.(*ast.CallExpr); ok {
+					if dropsError(pass, call, isErr) && !exemptCall(pass, call) {
+						pass.Reportf(call.Pos(), "call discards its error result; handle it or assign and check")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAssign flags blank identifiers receiving an error-typed value.
+func checkAssign(pass *Pass, as *ast.AssignStmt, isErr func(types.Type) bool) {
+	report := func(pos ast.Node) {
+		pass.Reportf(pos.Pos(), "error result discarded with _; handle it or annotate why it cannot fail")
+	}
+	// Multi-value form: lhs... = f().
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || exemptCall(pass, call) {
+			return
+		}
+		tup, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok || tup.Len() != len(as.Lhs) {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if isBlank(lhs) && isErr(tup.At(i).Type()) {
+				report(lhs)
+			}
+		}
+		return
+	}
+	// Parallel form: a, b = x, y (including _ = err).
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, lhs := range as.Lhs {
+			if !isBlank(lhs) {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok && exemptCall(pass, call) {
+				continue
+			}
+			if isErr(pass.TypeOf(as.Rhs[i])) {
+				report(lhs)
+			}
+		}
+	}
+}
+
+// dropsError reports whether the call's (possibly tuple) result includes
+// an error component.
+func dropsError(pass *Pass, call *ast.CallExpr, isErr func(types.Type) bool) bool {
+	switch t := pass.TypeOf(call).(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErr(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErr(t)
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// exemptCall reports whether the call's error is conventionally ignorable.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	if path, ok := pass.pkgPathOf(sel.X); ok {
+		if path != "fmt" {
+			return false
+		}
+		switch name {
+		case "Print", "Printf", "Println":
+			return true // stdout by convention
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return safeWriter(pass, call.Args[0])
+		}
+		return false
+	}
+	// Write* methods on in-memory buffers never return a non-nil error.
+	if strings.HasPrefix(name, "Write") {
+		return bufferType(pass.TypeOf(sel.X))
+	}
+	return false
+}
+
+// safeWriter reports whether w is an in-memory buffer or a standard
+// console stream, whose write errors are ignorable by convention.
+func safeWriter(pass *Pass, w ast.Expr) bool {
+	if bufferType(pass.TypeOf(w)) {
+		return true
+	}
+	if sel, ok := w.(*ast.SelectorExpr); ok {
+		if path, ok := pass.pkgPathOf(sel.X); ok && path == "os" {
+			return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+		}
+	}
+	return false
+}
+
+func bufferType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*strings.Builder", "strings.Builder", "*bytes.Buffer", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runFixture analyzes one fixture directory under testdata/src/ with the
+// given analyzers (the full suite when none are named) and returns the
+// findings formatted as "file:line: analyzer: message" with the file
+// reduced to its base name.
+func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) []string {
+	t.Helper()
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(moduleDir)
+	if len(analyzers) > 0 {
+		r.Analyzers = analyzers
+	}
+	findings, err := r.Run([]Target{{Dir: filepath.Join("testdata", "src", rel), Path: rel}})
+	if err != nil {
+		t.Fatalf("run %s: %v", rel, err)
+	}
+	if len(r.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors (analyzers would be blind): %v", rel, r.TypeErrors)
+	}
+	var out []string
+	for _, f := range findings {
+		out = append(out, fmt.Sprintf("%s:%d: %s: %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message))
+	}
+	return out
+}
+
+// checkGolden compares lines to testdata/<name>.golden. Set
+// CHARNET_UPDATE_GOLDEN=1 to rewrite the golden files.
+func checkGolden(t *testing.T, name string, lines []string) {
+	t.Helper()
+	got := strings.Join(lines, "\n")
+	if got != "" {
+		got += "\n"
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("CHARNET_UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with CHARNET_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("findings mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

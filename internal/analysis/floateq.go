@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// FloatEq flags exact ==/!= between floating-point expressions outside
+// _test.go files. Rounding makes exact float equality fragile: two
+// mathematically equal pipelines can differ in the last ulp, silently
+// flipping comparisons. The one blessed exception is comparison against an
+// exact constant zero (the standard division-by-zero guard), which is
+// well-defined. Everything else should use a tolerance (see
+// internal/testutil for the test-side idiom).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact ==/!= between floats outside tests (constant-zero guards excepted)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := pass.TypeOf(be.X), pass.TypeOf(be.Y)
+			if xt == nil || yt == nil {
+				return true
+			}
+			if !isFloat(xt) && !isFloat(yt) {
+				return true
+			}
+			if isConstZero(pass, be.X) || isConstZero(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact float %s comparison: rounding makes this fragile (compare against a tolerance, or guard with == 0)", be.Op)
+			return true
+		})
+	}
+}
+
+// isConstZero reports whether e is a compile-time constant exactly zero.
+func isConstZero(pass *Pass, e ast.Expr) bool {
+	if pass.Info == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// exportImporter resolves imports from compiler export data, located by
+// shelling out to `go list -export`. This gives analyzers the same type
+// information the compiler has, without any dependency beyond the standard
+// library and the already-present go toolchain.
+type exportImporter struct {
+	moduleDir string
+	gc        types.Importer
+	// exports caches import path -> export data file. A cached empty
+	// string records a known-unresolvable path.
+	exports map[string]string
+}
+
+// NewImporter returns a types.Importer backed by `go list -export`, run
+// from moduleDir so the module context (and therefore "repro/..." paths)
+// resolves.
+func NewImporter(fset *token.FileSet, moduleDir string) types.Importer {
+	e := &exportImporter{moduleDir: moduleDir, exports: map[string]string{}}
+	e.gc = importer.ForCompiler(fset, "gc", e.lookup)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// Prewarm resolves export data for the given package patterns and all their
+// dependencies with a single `go list` invocation, so subsequent lookups
+// need no further subprocesses.
+func (e *exportImporter) Prewarm(patterns ...string) {
+	args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = e.moduleDir
+	out, err := cmd.Output()
+	if err != nil {
+		return // fall back to per-path lookups
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "=")
+		if ok && path != "" && file != "" {
+			e.exports[path] = file
+		}
+	}
+}
+
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := e.exports[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+		cmd.Dir = e.moduleDir
+		out, err := cmd.Output()
+		if err != nil {
+			e.exports[path] = ""
+			return nil, fmt.Errorf("analysis: no export data for %q: %v", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		e.exports[path] = file
+	}
+	if file == "" {
+		return nil, fmt.Errorf("analysis: no export data for %q", path)
+	}
+	return os.Open(file)
+}

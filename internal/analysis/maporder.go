@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body is order-sensitive: it
+// appends to a slice that is not sorted afterwards, feeds fmt or a
+// Write*/Print* sink directly, or accumulates floating-point state with a
+// compound assignment (float addition is not associative, so summing in
+// map order can change result bits between runs).
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration that emits output or accumulates order-sensitive state without sorting",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, st := range list {
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange inspects one range-over-map body for order-sensitive
+// sinks. following holds the statements after the range in the same block,
+// where a sort of an appended-to slice absolves the append.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	var appendTargets []*ast.Ident // slices appended to inside the body
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if tgt := floatAccumTarget(pass, rs, v); tgt != "" {
+				pass.Reportf(v.Pos(), "floating-point accumulation into %s inside map iteration: float addition is not associative, so map order changes result bits (iterate sorted keys)", tgt)
+			}
+			if len(v.Rhs) == 1 && len(v.Lhs) >= 1 {
+				if call, ok := v.Rhs[0].(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+					if id := rootIdent(v.Lhs[0]); id != nil {
+						appendTargets = append(appendTargets, id)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sink, ok := emitSink(pass, v); ok {
+				pass.Reportf(v.Pos(), "map iteration feeds %s: emission order is nondeterministic (collect and sort keys first)", sink)
+			}
+		}
+		return true
+	})
+	seen := map[string]bool{}
+	for _, id := range appendTargets {
+		if seen[id.Name] {
+			continue
+		}
+		seen[id.Name] = true
+		if !sortedAfter(pass, id, following) {
+			pass.Reportf(rs.Pos(), "map iteration appends to %s without sorting it afterwards: element order is nondeterministic", id.Name)
+		}
+	}
+}
+
+// floatAccumTarget reports the name of a float accumulator mutated by a
+// compound assignment whose target is declared outside the range body, or
+// "" when the assignment is harmless.
+func floatAccumTarget(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt) string {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return ""
+	}
+	if len(as.Lhs) != 1 {
+		return ""
+	}
+	t := pass.TypeOf(as.Lhs[0])
+	if t == nil || !isFloat(t) {
+		return ""
+	}
+	id := rootIdent(as.Lhs[0])
+	if id == nil {
+		return ""
+	}
+	obj := pass.objectOf(id)
+	if obj == nil {
+		return id.Name
+	}
+	// Accumulators declared inside the loop body reset every iteration and
+	// are therefore order-insensitive.
+	if obj.Pos() >= rs.Body.Pos() && obj.Pos() <= rs.Body.End() {
+		return ""
+	}
+	return id.Name
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	obj := pass.objectOf(id)
+	if obj == nil {
+		return true // no type info: assume the builtin
+	}
+	_, isBuiltin := obj.(*types.Builtin)
+	return isBuiltin
+}
+
+// emitSink reports whether call writes output whose order would follow map
+// iteration order: any fmt call, or a method named Print*/Write*.
+func emitSink(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if path, ok := pass.pkgPathOf(sel.X); ok {
+		if path == "fmt" {
+			switch sel.Sel.Name {
+			case "Sprint", "Sprintf", "Sprintln":
+				// Pure string construction; ordering problems surface at
+				// whatever sink the result flows into (append, Write...).
+				return "", false
+			}
+			return "fmt." + sel.Sel.Name, true
+		}
+		return "", false
+	}
+	name := sel.Sel.Name
+	if len(name) >= 5 && (name[:5] == "Write" || name[:5] == "Print") {
+		return name, true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether any statement after the range sorts the
+// slice: a call into package sort or slices mentioning the same variable.
+func sortedAfter(pass *Pass, target *ast.Ident, following []ast.Stmt) bool {
+	obj := pass.objectOf(target)
+	for _, st := range following {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			path, ok := pass.pkgPathOf(sel.X)
+			if !ok || (path != "sort" && path != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					id, ok := an.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if id.Name == target.Name && (obj == nil || pass.objectOf(id) == obj) {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

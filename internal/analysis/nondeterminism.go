@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// restrictedPrefixes lists the import paths (and their subtrees) where all
+// randomness must flow through internal/rng and wall-clock reads are
+// forbidden: anything feeding the characterization pipeline.
+var restrictedPrefixes = []string{
+	"repro/internal/sim",
+	"repro/internal/cluster",
+	"repro/internal/pca",
+	"repro/internal/subset",
+	"repro/internal/experiments",
+	"repro/internal/clr",
+	"repro/internal/core",
+	"repro/internal/branch",
+	"repro/internal/dram",
+	"repro/internal/mem",
+}
+
+// forbiddenImports are ambient-randomness packages banned outright in
+// restricted packages.
+var forbiddenImports = map[string]string{
+	"math/rand":    "use repro/internal/rng (seeded, deterministic) instead",
+	"math/rand/v2": "use repro/internal/rng (seeded, deterministic) instead",
+}
+
+// Nondeterminism forbids ambient randomness and wall-clock reads inside
+// the simulation/characterization packages. The pipeline must be a pure
+// function of its seeds: math/rand's global state and time.Now both vary
+// across runs and would silently destabilize every downstream table.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid math/rand and time.Now/time.Since in simulation packages; randomness must flow through internal/rng",
+	Run:  runNondeterminism,
+}
+
+func restricted(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	for _, p := range restrictedPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runNondeterminism(pass *Pass) {
+	if !restricted(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if why, ok := forbiddenImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden here: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pass.pkgCall(call, "time", "Now", "Since"); ok {
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation results must be a pure function of seeds (use simulated cycles, or thread a timestamp in from the caller)", name)
+			}
+			return true
+		})
+	}
+}

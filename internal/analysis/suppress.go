@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one parsed //charnet:ignore comment.
+type Directive struct {
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	// Err describes why the directive is malformed; a malformed directive
+	// suppresses nothing and is reported as an "ignore" finding.
+	Err string
+	pos token.Pos
+}
+
+const directivePrefix = "charnet:ignore"
+
+// parseDirectives extracts every suppression directive from the files.
+// Valid syntax, as a line comment on the offending line or the line above:
+//
+//	//charnet:ignore <analyzer> <reason>
+//
+// known maps valid analyzer names; anything else is malformed.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case strings.HasPrefix(text, "//"):
+					text = text[2:]
+				case strings.HasPrefix(text, "/*"):
+					text = strings.TrimSuffix(text[2:], "*/")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				pos := fset.Position(c.Pos())
+				d := Directive{File: pos.Filename, Line: pos.Line, pos: c.Pos()}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.Err = "missing analyzer name and reason"
+				case !known[fields[0]]:
+					d.Err = fmt.Sprintf("unknown analyzer %q", fields[0])
+				case len(fields) == 1:
+					d.Analyzer = fields[0]
+					d.Err = "missing reason (justify the suppression)"
+				default:
+					d.Analyzer = fields[0]
+					d.Reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions drops findings covered by a valid directive on the same
+// or preceding line, and appends one "ignore" finding per malformed
+// directive so broken suppressions fail the build instead of silently
+// doing nothing.
+func applySuppressions(findings []Finding, dirs []Directive) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	valid := map[key]bool{}
+	var out []Finding
+	for _, d := range dirs {
+		if d.Err != "" {
+			out = append(out, Finding{
+				Pos:      token.Position{Filename: d.File, Line: d.Line},
+				Analyzer: "ignore",
+				Message:  "malformed suppression: " + d.Err,
+			})
+			continue
+		}
+		valid[key{d.File, d.Line, d.Analyzer}] = true
+	}
+	for _, f := range findings {
+		if valid[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
+			valid[key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseSrcHelper(t *testing.T, src string) ([]Directive, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return parseDirectives(fset, []*ast.File{f}, knownAnalyzers(All())), fset
+}
+
+func TestParseDirectiveValid(t *testing.T) {
+	ds, _ := parseSrcHelper(t, `package p
+// normal comment
+var x = 1 //charnet:ignore floateq because the fixture says so
+`)
+	if len(ds) != 1 {
+		t.Fatalf("got %d directives, want 1: %+v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Err != "" || d.Analyzer != "floateq" || d.Reason != "because the fixture says so" || d.Line != 3 {
+		t.Fatalf("directive = %+v", d)
+	}
+}
+
+func TestParseDirectiveWrongAnalyzerName(t *testing.T) {
+	ds, _ := parseSrcHelper(t, `package p
+//charnet:ignore floatneq typo
+`)
+	if len(ds) != 1 || ds[0].Err == "" || !strings.Contains(ds[0].Err, "floatneq") {
+		t.Fatalf("want malformed unknown-analyzer directive, got %+v", ds)
+	}
+}
+
+func TestParseDirectiveMissingReason(t *testing.T) {
+	ds, _ := parseSrcHelper(t, `package p
+//charnet:ignore maporder
+`)
+	if len(ds) != 1 || ds[0].Err == "" || !strings.Contains(ds[0].Err, "reason") {
+		t.Fatalf("want malformed missing-reason directive, got %+v", ds)
+	}
+}
+
+func TestParseDirectiveMissingEverything(t *testing.T) {
+	ds, _ := parseSrcHelper(t, `package p
+//charnet:ignore
+`)
+	if len(ds) != 1 || ds[0].Err == "" {
+		t.Fatalf("want malformed directive, got %+v", ds)
+	}
+}
+
+func TestParseDirectiveIgnoresOrdinaryComments(t *testing.T) {
+	ds, _ := parseSrcHelper(t, `package p
+// charnet is the project name; this mentions charnet:ignore only midway.
+var x = 1
+`)
+	if len(ds) != 0 {
+		t.Fatalf("ordinary comments must not parse as directives: %+v", ds)
+	}
+}
+
+func TestApplySuppressionsLineMatching(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "x.go", Line: 10}, Analyzer: "floateq", Message: "same line"},
+		{Pos: token.Position{Filename: "x.go", Line: 21}, Analyzer: "floateq", Message: "line above"},
+		{Pos: token.Position{Filename: "x.go", Line: 30}, Analyzer: "floateq", Message: "wrong analyzer"},
+		{Pos: token.Position{Filename: "x.go", Line: 42}, Analyzer: "floateq", Message: "too far"},
+		{Pos: token.Position{Filename: "y.go", Line: 10}, Analyzer: "floateq", Message: "wrong file"},
+	}
+	dirs := []Directive{
+		{File: "x.go", Line: 10, Analyzer: "floateq", Reason: "r"},
+		{File: "x.go", Line: 20, Analyzer: "floateq", Reason: "r"},
+		{File: "x.go", Line: 30, Analyzer: "maporder", Reason: "r"},
+		{File: "x.go", Line: 40, Analyzer: "floateq", Reason: "r"},
+		{File: "x.go", Line: 50, Analyzer: "", Err: "missing reason"},
+	}
+	out := applySuppressions(findings, dirs)
+	var msgs []string
+	for _, f := range out {
+		msgs = append(msgs, f.Message)
+	}
+	want := []string{"malformed suppression: missing reason", "wrong analyzer", "too far", "wrong file"}
+	if strings.Join(msgs, "|") != strings.Join(want, "|") {
+		t.Fatalf("survivors = %v, want %v", msgs, want)
+	}
+}

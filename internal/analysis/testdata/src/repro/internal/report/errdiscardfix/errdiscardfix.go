@@ -1,0 +1,46 @@
+// Package errdiscardfix is the errdiscard fixture.
+package errdiscardfix
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func mayFail() error                                { return nil }
+func parsePair() (int, error)                       { return 0, nil }
+func lookup(m map[string]int, k string) (int, bool) { v, ok := m[k]; return v, ok }
+
+// Discards is a positive case three ways.
+func Discards() int {
+	_ = mayFail()       // positive: blank-assigned error
+	n, _ := parsePair() // positive: blank in a multi-value assign
+	mayFail()           // positive: bare call dropping an error
+	return n
+}
+
+// Handled is a negative case: every error is looked at.
+func Handled() (int, error) {
+	if err := mayFail(); err != nil {
+		return 0, err
+	}
+	return strconv.Atoi("7")
+}
+
+// CommaOK is a negative case: the discarded value is a bool, not an error.
+func CommaOK(m map[string]int) int {
+	v, _ := lookup(m, "k")
+	return v
+}
+
+// Console is a negative case: stdout/stderr and in-memory buffers are
+// exempt by convention.
+func Console() string {
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "warn\n")
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}

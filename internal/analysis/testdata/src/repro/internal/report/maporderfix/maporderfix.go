@@ -1,0 +1,73 @@
+// Package maporderfix is the maporder fixture: order-sensitive and
+// order-safe map iterations side by side.
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EmitUnsorted is a positive case: map iteration feeding fmt directly.
+func EmitUnsorted(m map[string]float64) {
+	for k, v := range m {
+		fmt.Println(k, v) // positive: emission follows map order
+	}
+}
+
+// BuildUnsorted is a positive case: appends in map order, never sorts.
+func BuildUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // positive: append without a sort afterwards
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// WriteUnsorted is a positive case: a Write* sink inside the loop.
+func WriteUnsorted(m map[string]string) string {
+	var b strings.Builder
+	for _, v := range m {
+		b.WriteString(v) // positive: write order follows map order
+	}
+	return b.String()
+}
+
+// SumFloats is a positive case: float accumulation is not associative, so
+// map order changes the result bits.
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // positive: order-sensitive float accumulation
+	}
+	return total
+}
+
+// BuildSorted is a negative case: the canonical collect-then-sort idiom.
+func BuildSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CountInts is a negative case: integer addition is associative, so the
+// accumulation order cannot change the result.
+func CountInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SliceAppend is a negative case: ranging a slice is ordered.
+func SliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,9 @@
+// Package timeok is a nondeterminism negative fixture: it reads the wall
+// clock, but lives at an unrestricted pseudo path (repro/internal/report/...),
+// where timestamps on reports are allowed.
+package timeok
+
+import "time"
+
+// Stamp returns the current time; fine outside the simulation packages.
+func Stamp() time.Time { return time.Now() }

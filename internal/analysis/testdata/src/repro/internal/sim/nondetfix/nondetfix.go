@@ -1,0 +1,22 @@
+// Package nondetfix is a nondeterminism fixture living at a restricted
+// pseudo import path (repro/internal/sim/...).
+package nondetfix
+
+import (
+	"math/rand" // positive: forbidden import
+	"time"
+)
+
+// Jitter is a positive case on two counts: the math/rand global stream and
+// a wall-clock read.
+func Jitter() float64 {
+	start := time.Now()          // positive: wall clock
+	elapsed := time.Since(start) // positive: wall clock
+	return rand.Float64() + elapsed.Seconds()
+}
+
+// Duration is a negative case: constructing a time.Duration and formatting
+// a time.Time passed in by the caller touch no ambient state.
+func Duration(at time.Time, d time.Duration) string {
+	return at.Add(d).String()
+}

@@ -1,0 +1,17 @@
+// Package zerorngfix is the zerorng fixture.
+package zerorngfix
+
+import "repro/internal/rng"
+
+// Broken is a positive case twice over: both literals build the unusable
+// all-zero xoshiro state.
+func Broken() (*rng.Rand, rng.Rand) {
+	p := &rng.Rand{} // positive
+	v := rng.Rand{}  // positive
+	return p, v
+}
+
+// Seeded is a negative case: the blessed constructors.
+func Seeded() (*rng.Rand, *rng.Rand) {
+	return rng.New(42), rng.NewFrom(1, 2, 3)
+}

@@ -1,0 +1,23 @@
+// Package floateqfix is the floateq fixture.
+package floateqfix
+
+// Same is a positive case: exact equality between two float expressions.
+func Same(a, b float64) bool {
+	return a == b // positive
+}
+
+// Changed is a positive case with != and float32.
+func Changed(a, b float32) bool {
+	return a != b // positive
+}
+
+// GuardZero is a negative case: the blessed division-by-zero guard.
+func GuardZero(denom float64) float64 {
+	if denom == 0 {
+		return 0
+	}
+	return 1 / denom
+}
+
+// Ints is a negative case: integer equality is exact.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,11 @@
+package floateqfix
+
+import "testing"
+
+// TestExactOK is a negative case: _test.go files may compare floats
+// exactly (though internal/testutil.InDelta is the preferred idiom).
+func TestExactOK(t *testing.T) {
+	if Same(1.5, 1.5) != (1.5 == 1.5) {
+		t.Fatal("unreachable")
+	}
+}

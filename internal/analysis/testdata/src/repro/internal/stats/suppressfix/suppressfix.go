@@ -1,0 +1,34 @@
+// Package suppressfix exercises the //charnet:ignore directive: one valid
+// suppression on the same line, one on the line above, one with the wrong
+// analyzer name (does not suppress), and malformed directives that are
+// themselves reported.
+package suppressfix
+
+// SameLine is suppressed by a trailing directive.
+func SameLine(a, b float64) bool {
+	return a == b //charnet:ignore floateq fixture: same-line suppression
+}
+
+// LineAbove is suppressed by a directive on the preceding line.
+func LineAbove(a, b float64) bool {
+	//charnet:ignore floateq fixture: line-above suppression
+	return a == b
+}
+
+// WrongName stays reported: the directive names a different analyzer, and
+// the directive itself is fine (maporder is real), so only the floateq
+// finding survives.
+func WrongName(a, b float64) bool {
+	return a == b //charnet:ignore maporder fixture: wrong analyzer, does not cover floateq
+}
+
+// MissingReason stays reported and the bare directive is flagged too.
+func MissingReason(a, b float64) bool {
+	return a == b //charnet:ignore floateq
+}
+
+// UnknownAnalyzer: the directive is malformed (no such analyzer) and the
+// finding survives.
+func UnknownAnalyzer(a, b float64) bool {
+	return a == b //charnet:ignore floatneq typo in the analyzer name
+}

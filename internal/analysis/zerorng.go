@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// rngPath is the import path of the deterministic generator package.
+const rngPath = "repro/internal/rng"
+
+// ZeroRNG flags composite-literal construction of rng.Rand. The zero value
+// is documented as unusable — xoshiro256** must never start from the
+// all-zero state, which the zero value is — so construction must go
+// through rng.New or rng.NewFrom, which seed and guard the state.
+var ZeroRNG = &Analyzer{
+	Name: "zerorng",
+	Doc:  "forbid rng.Rand{} composite literals; the zero value is unusable, construct with rng.New/NewFrom",
+	Run:  runZeroRNG,
+}
+
+func runZeroRNG(pass *Pass) {
+	if strings.TrimSuffix(pass.Path, ".test") == rngPath {
+		return // the package itself seeds the state it constructs
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			sel, ok := lit.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Rand" {
+				return true
+			}
+			if path, ok := pass.pkgPathOf(sel.X); ok && path == rngPath {
+				pass.Reportf(lit.Pos(), "rng.Rand composite literal: the zero value is an unusable all-zero xoshiro state; construct with rng.New or rng.NewFrom")
+			}
+			return true
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
 
 func TestAlwaysTakenLearns(t *testing.T) {
@@ -142,13 +143,11 @@ func TestJITRelocationColdStartScenario(t *testing.T) {
 
 func TestStatsRates(t *testing.T) {
 	var s Stats
-	if s.MispredictRate() != 0 || s.BTBMissRate() != 0 {
-		t.Fatal("idle rates should be 0")
-	}
+	testutil.InDelta(t, "idle mispredict rate", s.MispredictRate(), 0, 0)
+	testutil.InDelta(t, "idle BTB miss rate", s.BTBMissRate(), 0, 0)
 	s = Stats{Branches: 10, Mispredicts: 2, BTBLookups: 5, BTBMisses: 1}
-	if s.MispredictRate() != 0.2 || s.BTBMissRate() != 0.2 {
-		t.Fatal("rate math wrong")
-	}
+	testutil.InDelta(t, "mispredict rate", s.MispredictRate(), 0.2, 1e-12)
+	testutil.InDelta(t, "BTB miss rate", s.BTBMissRate(), 0.2, 1e-12)
 }
 
 func TestConstructorValidation(t *testing.T) {

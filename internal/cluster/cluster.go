@@ -159,6 +159,7 @@ func Agglomerate(obs [][]float64, linkage Linkage) (*Dendrogram, error) {
 			if j == i || !active[j] {
 				continue
 			}
+			//charnet:ignore floateq deterministic tie-break needs exact equality: ties go to the lowest index
 			if d := row[j]; d < bestD || (d == bestD && (best == -1 || j < best)) {
 				best, bestD = j, d
 			}

@@ -175,7 +175,7 @@ func (r *ExtensionsResult) String() string {
 		})
 	}
 	b.WriteString(textplot.Table("", header, rows))
-	for name := range r.Speedup {
+	for _, name := range textplot.SortedKeys(r.Speedup) {
 		fmt.Fprintf(&b, "  %-24s mean speedup %.3fx\n", name, r.Speedup[name])
 	}
 	return b.String()

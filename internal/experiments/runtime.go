@@ -122,9 +122,16 @@ func (r *Figure13Result) MeanJIT(c trace.CounterSeries) float64 { return meanOf(
 func (r *Figure13Result) MeanGC(c trace.CounterSeries) float64 { return meanOf(r.GC, c) }
 
 func meanOf(m map[string]map[trace.CounterSeries]float64, c trace.CounterSeries) float64 {
-	var xs []float64
-	for _, cm := range m {
-		xs = append(xs, cm[c])
+	// Iterate in sorted key order: float summation inside Mean is not
+	// associative, so map order could perturb the last bits of the result.
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	xs := make([]float64, 0, len(names))
+	for _, n := range names {
+		xs = append(xs, m[n][c])
 	}
 	return stats.Mean(xs)
 }
@@ -313,9 +320,14 @@ func (r *Figure14Result) String() string {
 	var b strings.Builder
 	b.WriteString("Fig 14: workstation vs server GC across max heap sizes\n")
 	header := []string{"benchmark", "mode", "heap MiB", "GC PKI", "LLC MPKI", "time (rel)"}
+	names := make([]string, 0, len(r.Cells))
+	for name := range r.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var rows [][]string
-	for name, cells := range r.Cells {
-		for _, c := range cells {
+	for _, name := range names {
+		for _, c := range r.Cells[name] {
 			if c.Failed {
 				rows = append(rows, []string{name, c.Mode.String(), fmt.Sprintf("%d", c.HeapMiB), "FAILED", "-", "-"})
 				continue

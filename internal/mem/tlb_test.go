@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/machine"
+	"repro/internal/testutil"
 )
 
 func tinyTLB() machine.TLBGeom {
@@ -111,13 +112,9 @@ func TestTLBSetAssociative(t *testing.T) {
 
 func TestTLBMissRate(t *testing.T) {
 	var s TLBStats
-	if s.MissRate() != 0 {
-		t.Fatal("idle TLB miss rate should be 0")
-	}
+	testutil.InDelta(t, "idle TLB miss rate", s.MissRate(), 0, 0)
 	s = TLBStats{Lookups: 10, Misses: 5}
-	if s.MissRate() != 0.5 {
-		t.Fatalf("miss rate = %v", s.MissRate())
-	}
+	testutil.InDelta(t, "TLB miss rate", s.MissRate(), 0.5, 1e-12)
 }
 
 func TestTLBPanicsOnBadGeometry(t *testing.T) {

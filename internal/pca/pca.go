@@ -183,6 +183,7 @@ func (r *Result) TopLoadings(k, n int, names []string) []Loading {
 		if wb < 0 {
 			wb = -wb
 		}
+		//charnet:ignore floateq sort comparator: exact inequality keeps the index tie-break deterministic
 		if wa != wb {
 			return wa > wb
 		}

@@ -34,11 +34,17 @@ func New(seed uint64) *Rand {
 	for i := range r.s {
 		r.s[i] = splitmix64(&sm)
 	}
-	// xoshiro must not start at the all-zero state.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
-	}
+	ensureNonZeroState(&r.s)
 	return r
+}
+
+// ensureNonZeroState guards against the forbidden all-zero xoshiro state,
+// from which the generator would emit zeros forever. Any nonzero state is
+// left untouched.
+func ensureNonZeroState(s *[4]uint64) {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		s[0] = 0x9e3779b97f4a7c15
+	}
 }
 
 // NewFrom derives a generator from a sequence of seed components, such as

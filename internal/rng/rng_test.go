@@ -16,6 +16,52 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestEnsureNonZeroStateRepairsZero(t *testing.T) {
+	var s [4]uint64
+	ensureNonZeroState(&s)
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		t.Fatal("all-zero state must be repaired")
+	}
+	// A generator started from the repaired state must actually produce
+	// output: from the true all-zero state xoshiro256** emits zeros forever.
+	r := &Rand{s: s}
+	nonzero := false
+	for i := 0; i < 16; i++ {
+		if r.Uint64() != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("repaired state still generates only zeros")
+	}
+}
+
+func TestEnsureNonZeroStateKeepsNonZero(t *testing.T) {
+	for _, s := range [][4]uint64{
+		{1, 0, 0, 0},
+		{0, 0, 0, 7},
+		{2, 3, 5, 8},
+	} {
+		got := s
+		ensureNonZeroState(&got)
+		if got != s {
+			t.Fatalf("nonzero state %v was modified to %v", s, got)
+		}
+	}
+}
+
+func TestNewNeverYieldsZeroState(t *testing.T) {
+	// Spot-check seeds, including 0: New must always hand back a usable
+	// (nonzero) internal state.
+	for _, seed := range []uint64{0, 1, 42, math.MaxUint64} {
+		r := New(seed)
+		if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+			t.Fatalf("New(%d) produced the all-zero state", seed)
+		}
+	}
+}
+
 func TestDifferentSeedsDiverge(t *testing.T) {
 	a := New(1)
 	b := New(2)

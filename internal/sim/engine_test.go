@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/clr"
 	"repro/internal/machine"
+	"repro/internal/testutil"
 	"repro/internal/workload"
 )
 
@@ -319,18 +320,13 @@ func TestCountersAdd(t *testing.T) {
 
 func TestRates(t *testing.T) {
 	c := Counters{Instructions: 2000, Cycles: 1000, BranchMisses: 4}
-	if c.MPKI(c.BranchMisses) != 2 {
-		t.Fatalf("MPKI = %v", c.MPKI(c.BranchMisses))
-	}
-	if c.CPI() != 0.5 || c.IPC() != 2 {
-		t.Fatalf("CPI/IPC = %v/%v", c.CPI(), c.IPC())
-	}
+	testutil.InDelta(t, "MPKI", c.MPKI(c.BranchMisses), 2, 1e-12)
+	testutil.InDelta(t, "CPI", c.CPI(), 0.5, 1e-12)
+	testutil.InDelta(t, "IPC", c.IPC(), 2, 1e-12)
 	var zero Counters
-	if zero.MPKI(1) != 0 || zero.CPI() != 0 || zero.IPC() != 0 {
-		t.Fatal("zero counters should produce zero rates")
-	}
+	testutil.InDelta(t, "zero MPKI", zero.MPKI(1), 0, 0)
+	testutil.InDelta(t, "zero CPI", zero.CPI(), 0, 0)
+	testutil.InDelta(t, "zero IPC", zero.IPC(), 0, 0)
 	var s Sample
-	if s.IPC() != 0 {
-		t.Fatal("zero sample IPC")
-	}
+	testutil.InDelta(t, "zero sample IPC", s.IPC(), 0, 0)
 }

@@ -277,6 +277,7 @@ func ranks(xs []float64) []float64 {
 	out := make([]float64, n)
 	for i := 0; i < n; {
 		j := i
+		//charnet:ignore floateq rank ties are exact duplicates by definition; a tolerance would merge distinct values
 		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
 			j++
 		}

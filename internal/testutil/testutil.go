@@ -1,0 +1,32 @@
+// Package testutil holds the blessed assertion idioms shared by the test
+// suites. It exists so that policy enforced by charnet-vet (see the
+// floateq analyzer in internal/analysis) has exactly one alternative to
+// point at: instead of exact ==/!= between floats, compare within a
+// tolerance via AlmostEqual or InDelta.
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// AlmostEqual reports whether a and b are within tol of each other.
+// NaN never compares equal; infinities compare equal only to infinities
+// of the same sign.
+func AlmostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return math.IsInf(a, 1) == math.IsInf(b, 1) && math.IsInf(a, -1) == math.IsInf(b, -1)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// InDelta fails the test when got is not within tol of want.
+func InDelta(t testing.TB, what string, got, want, tol float64) {
+	t.Helper()
+	if !AlmostEqual(got, want, tol) {
+		t.Fatalf("%s = %v, want %v (tolerance %v)", what, got, want, tol)
+	}
+}

@@ -1,0 +1,35 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	inf, nan := math.Inf(1), math.NaN()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 1e-9, true},
+		{1, 1.1, 1e-9, false},
+		{-2.5, -2.5, 0, true},
+		{nan, 1, 1, false},
+		{nan, nan, 1, false},
+		{inf, inf, 0, true},
+		{-inf, -inf, 0, true},
+		{inf, -inf, 0, false},
+		{inf, 1e308, 1e308, false},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestInDelta(t *testing.T) {
+	InDelta(t, "exact", 0.5, 0.5, 0)
+	InDelta(t, "close", 0.5, 0.5+1e-12, 1e-9)
+}

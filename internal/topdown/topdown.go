@@ -105,16 +105,21 @@ func (s *Slots) Add(o *Slots) {
 // buckets or attribution exceeding the total slot count by more than the
 // given tolerance fraction.
 func (s *Slots) Validate(tol float64) error {
-	for name, v := range map[string]float64{
-		"Total": s.Total, "Retiring": s.Retiring, "BadSpec": s.BadSpec,
-		"FEICache": s.FEICache, "FEITLB": s.FEITLB, "FEResteer": s.FEResteer,
-		"FEMSSwitch": s.FEMSSwitch, "FEDSB": s.FEDSB, "FEMITE": s.FEMITE,
-		"BEL1Bound": s.BEL1Bound, "BEL2Bound": s.BEL2Bound, "BEL3Bound": s.BEL3Bound,
-		"BEDRAMBound": s.BEDRAMBound, "BEStores": s.BEStores,
-		"BEDivider": s.BEDivider, "BEPortsUtil": s.BEPortsUtil,
+	// An ordered slice (not a map) so that when several buckets are
+	// negative, the error always names the same one.
+	for _, bucket := range []struct {
+		name string
+		v    float64
+	}{
+		{"Total", s.Total}, {"Retiring", s.Retiring}, {"BadSpec", s.BadSpec},
+		{"FEICache", s.FEICache}, {"FEITLB", s.FEITLB}, {"FEResteer", s.FEResteer},
+		{"FEMSSwitch", s.FEMSSwitch}, {"FEDSB", s.FEDSB}, {"FEMITE", s.FEMITE},
+		{"BEL1Bound", s.BEL1Bound}, {"BEL2Bound", s.BEL2Bound}, {"BEL3Bound", s.BEL3Bound},
+		{"BEDRAMBound", s.BEDRAMBound}, {"BEStores", s.BEStores},
+		{"BEDivider", s.BEDivider}, {"BEPortsUtil", s.BEPortsUtil},
 	} {
-		if v < 0 {
-			return fmt.Errorf("topdown: bucket %s is negative (%v)", name, v)
+		if bucket.v < 0 {
+			return fmt.Errorf("topdown: bucket %s is negative (%v)", bucket.name, bucket.v)
 		}
 	}
 	if s.Total <= 0 {

@@ -102,7 +102,7 @@ func TestFrontendBreakdownSumsTo100(t *testing.T) {
 	fb := p.FrontendBreakdown()
 	sum := 0.0
 	for _, v := range fb {
-		sum += v
+		sum += v //charnet:ignore maporder assertion uses a 1e-9 tolerance that absorbs summation-order noise
 	}
 	if math.Abs(sum-100) > 1e-9 {
 		t.Fatalf("frontend breakdown sums to %v", sum)
@@ -117,7 +117,7 @@ func TestBackendBreakdownSumsTo100(t *testing.T) {
 	bb := p.BackendBreakdown()
 	sum := 0.0
 	for _, v := range bb {
-		sum += v
+		sum += v //charnet:ignore maporder assertion uses a 1e-9 tolerance that absorbs summation-order noise
 	}
 	if math.Abs(sum-100) > 1e-9 {
 		t.Fatalf("backend breakdown sums to %v", sum)

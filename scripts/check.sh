@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate for this repository.
+#
+#   gofmt        formatting (including analyzer fixtures, which must stay
+#                gofmt-clean so their golden line numbers are stable)
+#   go vet       the stock toolchain checks
+#   charnet-vet  the repo's determinism-and-correctness lint suite
+#                (docs/ANALYSIS.md)
+#   go test      all packages, race detector on
+#
+# Tier-1 (go build + go test) is the floor; this script is the gate every
+# PR should pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== charnet-vet ./..."
+go run ./cmd/charnet-vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok: all checks passed"
