@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/mstore"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -43,6 +44,32 @@ func benchFigure[T any](b *testing.B, f func(*experiments.Lab) (T, error)) {
 
 func BenchmarkTableIII(b *testing.B) { benchFigure(b, experiments.TableIII) }
 func BenchmarkTableIV(b *testing.B)  { benchFigure(b, experiments.TableIV) }
+
+// BenchmarkTableIVWarmCache regenerates Table IV with a warm measurement
+// store: every suite measurement is served from disk and only the
+// analysis (PCA, clustering, subsetting, validation) reruns. The ratio to
+// BenchmarkTableIV is the speedup the `charnet -cache DIR` flag buys on
+// repeated invocations.
+func BenchmarkTableIVWarmCache(b *testing.B) {
+	store, err := mstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := experiments.NewLab(benchCfg())
+	warm.Store = store
+	if _, err := experiments.TableIV(warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchCfg())
+		lab.Store = store
+		if _, err := experiments.TableIV(lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 func BenchmarkFigure1(b *testing.B)  { benchFigure(b, experiments.Figure1) }
 func BenchmarkFigure2(b *testing.B)  { benchFigure(b, experiments.Figure2) }
 func BenchmarkFigure3(b *testing.B)  { benchFigure(b, experiments.Figure3) }

@@ -1,0 +1,202 @@
+// Command benchdiff records and compares benchmark runs: the mechanism
+// that turns "the pipeline is fast" into an enforced property.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. ./... | benchdiff record -rev REV -out BENCH_REV.json
+//	benchdiff compare [-tol 0.10] OLD.json NEW.json
+//
+// record parses standard `go test -bench` output from stdin and writes a
+// JSON record mapping benchmark names to ns/op (the minimum across -count
+// repetitions, the conventional low-noise statistic).
+//
+// compare exits nonzero if any benchmark present in both records is
+// slower in NEW by more than the tolerance (default 10%). scripts/bench.sh
+// drives both halves.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark run: ns/op per benchmark name.
+type Record struct {
+	Rev        string             `json:"rev"`
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "compare":
+		err = compare(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: benchdiff record -rev REV -out FILE < bench-output
+       benchdiff compare [-tol FRAC] OLD.json NEW.json`)
+	os.Exit(2)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	rev := fs.String("rev", "unknown", "revision label for the record")
+	note := fs.String("note", "", "free-form annotation")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rec := Record{Rev: *rev, Note: *note, Benchmarks: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through so the run stays visible
+		name, ns, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		// Minimum across -count repetitions: the least-interference run.
+		if old, seen := rec.Benchmarks[name]; !seen || ns < old {
+			rec.Benchmarks[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rec.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(*out, b, 0o644)
+}
+
+// parseBenchLine extracts (name, ns/op) from a `go test -bench` result
+// line, e.g. "BenchmarkCacheAccessMiss-8   190024   6.2 ns/op  ...".
+// The -GOMAXPROCS suffix is stripped so records from different machines
+// stay comparable.
+func parseBenchLine(line string) (string, float64, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(f); i++ {
+		if f[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			name := f[0]
+			if j := strings.LastIndexByte(name, '-'); j > 0 {
+				if _, err := strconv.Atoi(name[j+1:]); err == nil {
+					name = name[:j]
+				}
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func compare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.10, "allowed slowdown fraction before failing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		usage()
+	}
+	old, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.0f%%\n",
+		fs.Arg(0), old.Rev, fs.Arg(1), cur.Rev, *tol*100)
+	var regressed int
+	for _, name := range names {
+		newNS := cur.Benchmarks[name]
+		oldNS, ok := old.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  new      %-40s %14.0f ns/op\n", name, newNS)
+			continue
+		}
+		ratio := newNS / oldNS
+		mark := "  ok      "
+		switch {
+		case ratio > 1+*tol:
+			mark = "  REGRESS "
+			regressed++
+		case ratio < 1-*tol:
+			mark = "  faster  "
+		}
+		fmt.Printf("%s%-40s %14.0f -> %14.0f ns/op (%.2fx)\n", mark, name, oldNS, newNS, ratio)
+	}
+	oldNames := make([]string, 0, len(old.Benchmarks))
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			oldNames = append(oldNames, name)
+		}
+	}
+	sort.Strings(oldNames)
+	for _, name := range oldNames {
+		fmt.Printf("  dropped %-40s %14.0f ns/op\n", name, old.Benchmarks[name])
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressed, *tol*100)
+	}
+	fmt.Println("no regressions beyond tolerance")
+	return nil
+}
+
+func load(path string) (*Record, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Record
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

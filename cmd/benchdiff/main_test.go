@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		name string
+		ns   float64
+		ok   bool
+	}{
+		{"BenchmarkCacheAccessMRUHit-8   	197019026	         6.094 ns/op", "BenchmarkCacheAccessMRUHit", 6.094, true},
+		{"BenchmarkTableIV          	       2	2168872337 ns/op	1206849128 B/op	   44042 allocs/op", "BenchmarkTableIV", 2168872337, true},
+		{"BenchmarkAblationLinkage/average-16        100     1200 ns/op", "BenchmarkAblationLinkage/average", 1200, true},
+		{"ok  	repro/internal/mem	0.006s", "", 0, false},
+		{"PASS", "", 0, false},
+		{"goos: linux", "", 0, false},
+	}
+	for _, c := range cases {
+		name, ns, ok := parseBenchLine(c.line)
+		if ok != c.ok || name != c.name || ns != c.ns {
+			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				c.line, name, ns, ok, c.name, c.ns, c.ok)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	charnet [-full] <command>
+//	charnet [-full] [-cache DIR] <command>
 //
 // Commands:
 //
@@ -45,12 +45,14 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/mstore"
 	"repro/internal/report"
 	"repro/internal/textplot"
 )
 
 func main() {
 	full := flag.Bool("full", false, "full-fidelity runs (all workloads, more instructions)")
+	cacheDir := flag.String("cache", "", "persistent measurement store directory (reuses identical measurements across runs)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -62,6 +64,14 @@ func main() {
 		cfg = experiments.Full()
 	}
 	lab := experiments.NewLab(cfg)
+	if *cacheDir != "" {
+		store, err := mstore.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
+			os.Exit(1)
+		}
+		lab.Store = store
+	}
 
 	cmd := flag.Arg(0)
 	if err := dispatch(lab, cmd, flag.Args()[1:]); err != nil {
@@ -71,7 +81,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charnet [-full] <metrics|machines|suites|run NAME|table3|table4|fig1..fig14|all>")
+	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] <metrics|machines|suites|run NAME|table3|table4|fig1..fig14|all>")
 }
 
 type figure func(*experiments.Lab) (fmt.Stringer, error)

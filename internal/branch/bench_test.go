@@ -1,0 +1,40 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// BenchmarkPredictUpdate measures the combined predict-and-update path on
+// a biased branch working set, the per-branch cost sim.step pays.
+func BenchmarkPredictUpdate(b *testing.B) {
+	p := New(12, 512, 4)
+	r := rng.New(42)
+	// Pre-generate a branch trace so the RNG is not part of the loop.
+	const n = 1 << 12
+	pcs := make([]uint64, n)
+	taken := make([]bool, n)
+	for i := range pcs {
+		pcs[i] = uint64(r.Intn(1<<16)) &^ 3
+		taken[i] = r.Intn(10) < 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & (n - 1)
+		p.Predict(pcs[j], taken[j])
+	}
+}
+
+// BenchmarkPredictHot measures the best case: one perfectly biased branch
+// resident in both the direction table and the BTB.
+func BenchmarkPredictHot(b *testing.B) {
+	p := New(12, 512, 4)
+	for i := 0; i < 16; i++ {
+		p.Predict(0x400, true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(0x400, true)
+	}
+}

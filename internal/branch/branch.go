@@ -20,12 +20,15 @@ type Predictor struct {
 	table   []uint8
 	history uint64
 
-	btbWays  int
-	btbSets  int
-	btbMask  uint64
+	btbWays int
+	btbSets int
+	btbMask uint64
+	// Packed BTB storage: a way holds (tag<<1)|1 when valid, 0 when
+	// empty (tags are pc>>2, so the shift cannot overflow), and a
+	// per-set MRU index short-circuits the scan for hot branch sites.
 	btbTags  []uint64
-	btbValid []bool
 	btbTS    []uint64
+	btbMRU   []int32
 	btbClock uint64
 
 	Stats Stats
@@ -71,15 +74,15 @@ func New(tableBits uint, btbEntries, btbWays int) *Predictor {
 	}
 	size := 1 << tableBits
 	p := &Predictor{
-		bits:     tableBits,
-		mask:     uint64(size - 1),
-		table:    make([]uint8, size),
-		btbWays:  btbWays,
-		btbSets:  sets,
-		btbMask:  uint64(sets - 1),
-		btbTags:  make([]uint64, btbEntries),
-		btbValid: make([]bool, btbEntries),
-		btbTS:    make([]uint64, btbEntries),
+		bits:    tableBits,
+		mask:    uint64(size - 1),
+		table:   make([]uint8, size),
+		btbWays: btbWays,
+		btbSets: sets,
+		btbMask: uint64(sets - 1),
+		btbTags: make([]uint64, btbEntries),
+		btbTS:   make([]uint64, btbEntries),
+		btbMRU:  make([]int32, sets),
 	}
 	// Weakly not-taken initial state.
 	for i := range p.table {
@@ -137,11 +140,17 @@ func (p *Predictor) btbAccess(pc uint64) bool {
 	p.btbClock++
 	p.Stats.BTBLookups++
 	tag := pc >> 2
-	set := int(tag & p.btbMask)
-	base := set * p.btbWays
+	set := tag & p.btbMask
+	word := tag<<1 | 1
+	base := int(set) * p.btbWays
+	if m := base + int(p.btbMRU[set]); p.btbTags[m] == word {
+		p.btbTS[m] = p.btbClock
+		return true
+	}
 	for w := 0; w < p.btbWays; w++ {
-		if p.btbValid[base+w] && p.btbTags[base+w] == tag {
+		if p.btbTags[base+w] == word {
 			p.btbTS[base+w] = p.btbClock
+			p.btbMRU[set] = int32(w)
 			return true
 		}
 	}
@@ -149,9 +158,8 @@ func (p *Predictor) btbAccess(pc uint64) bool {
 	victim := base
 	oldest := p.btbTS[base]
 	for w := 0; w < p.btbWays; w++ {
-		if !p.btbValid[base+w] {
+		if p.btbTags[base+w] == 0 {
 			victim = base + w
-			oldest = 0
 			break
 		}
 		if p.btbTS[base+w] < oldest {
@@ -159,9 +167,9 @@ func (p *Predictor) btbAccess(pc uint64) bool {
 			victim = base + w
 		}
 	}
-	p.btbValid[victim] = true
-	p.btbTags[victim] = tag
+	p.btbTags[victim] = word
 	p.btbTS[victim] = p.btbClock
+	p.btbMRU[set] = int32(victim - base)
 	return false
 }
 
@@ -171,8 +179,8 @@ func (p *Predictor) Flush() {
 		p.table[i] = 1
 	}
 	p.history = 0
-	for i := range p.btbValid {
-		p.btbValid[i] = false
+	for i := range p.btbTags {
+		p.btbTags[i] = 0
 	}
 }
 
@@ -183,11 +191,11 @@ func (p *Predictor) Flush() {
 // scanning PCs at 4-byte granularity; size is bounded by code-page size so
 // this stays cheap.
 func (p *Predictor) FlushRange(start, size uint64) {
-	firstTag := start >> 2
-	lastTag := (start + size - 1) >> 2
-	for i := range p.btbTags {
-		if p.btbValid[i] && p.btbTags[i] >= firstTag && p.btbTags[i] <= lastTag {
-			p.btbValid[i] = false
+	firstWord := (start>>2)<<1 | 1
+	lastWord := ((start+size-1)>>2)<<1 | 1
+	for i, t := range p.btbTags {
+		if t != 0 && t >= firstWord && t <= lastWord {
+			p.btbTags[i] = 0
 		}
 	}
 	for pc := start; pc < start+size; pc += 4 {

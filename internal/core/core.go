@@ -33,13 +33,49 @@ type Measurement struct {
 	Err error
 }
 
+// MeasurementCache stores suite measurements keyed by their full inputs
+// (workloads, machine, options), so identical measurement requests can be
+// answered without re-simulating. Implementations compute their own keys
+// from the arguments and must return results exactly as stored; a (nil,
+// false) Get means "measure". internal/mstore provides the on-disk
+// implementation.
+type MeasurementCache interface {
+	Get(ps []workload.Profile, m *machine.Config, opts sim.Options) ([]Measurement, bool)
+	Put(ps []workload.Profile, m *machine.Config, opts sim.Options, ms []Measurement)
+}
+
 // MeasureSuite runs every workload of a suite on the machine and collects
 // normalized metric vectors. Workloads run concurrently (they are
 // independent processes in the paper's methodology); results are ordered
 // and deterministic regardless of scheduling.
 func MeasureSuite(ps []workload.Profile, m *machine.Config, opts sim.Options) []Measurement {
+	return MeasureSuiteWorkers(ps, m, opts, 0)
+}
+
+// MeasureSuiteCached is MeasureSuite behind an optional cache: a hit
+// returns the stored measurements, a miss measures and stores. A nil cache
+// degrades to plain measurement.
+func MeasureSuiteCached(cache MeasurementCache, ps []workload.Profile, m *machine.Config, opts sim.Options) []Measurement {
+	if cache != nil {
+		if ms, ok := cache.Get(ps, m, opts); ok {
+			return ms
+		}
+	}
+	ms := MeasureSuiteWorkers(ps, m, opts, 0)
+	if cache != nil {
+		cache.Put(ps, m, opts, ms)
+	}
+	return ms
+}
+
+// MeasureSuiteWorkers is MeasureSuite with an explicit worker count
+// (0 = GOMAXPROCS). The result is identical for any worker count: each
+// workload simulation is fully independent and lands in its input slot.
+func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
 	out := make([]Measurement, len(ps))
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(ps) {
 		workers = len(ps)
 	}

@@ -10,6 +10,8 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sync"
 
 	"repro/internal/core"
@@ -56,27 +58,42 @@ func Full() Config {
 type Lab struct {
 	Cfg Config
 
+	// Store, when set, persists measurements across processes (the
+	// `charnet -cache DIR` flag wires in an mstore.Store). The in-memory
+	// map below still fronts it within a process.
+	Store core.MeasurementCache
+
 	mu    sync.Mutex
-	cache map[string][]core.Measurement
+	cache map[string]*measureEntry
+}
+
+// measureEntry is a singleflight cell: the first caller for a key creates
+// it and measures; later callers wait on done and share the result.
+type measureEntry struct {
+	done chan struct{}
+	ms   []core.Measurement
 }
 
 // NewLab builds a Lab with the given fidelity.
 func NewLab(cfg Config) *Lab {
-	return &Lab{Cfg: cfg, cache: make(map[string][]core.Measurement)}
+	return &Lab{Cfg: cfg, cache: make(map[string]*measureEntry)}
 }
 
 func (l *Lab) measure(key string, ps []workload.Profile, m *machine.Config, opts sim.Options) []core.Measurement {
 	l.mu.Lock()
-	if ms, ok := l.cache[key]; ok {
+	if e, ok := l.cache[key]; ok {
 		l.mu.Unlock()
-		return ms
+		// Wait out an in-flight measurement of the same key rather than
+		// duplicating the full-suite simulation.
+		<-e.done
+		return e.ms
 	}
+	e := &measureEntry{done: make(chan struct{})}
+	l.cache[key] = e
 	l.mu.Unlock()
-	ms := core.MeasureSuite(ps, m, opts)
-	l.mu.Lock()
-	l.cache[key] = ms
-	l.mu.Unlock()
-	return ms
+	e.ms = core.MeasureSuiteCached(l.Store, ps, m, opts)
+	close(e.done)
+	return e.ms
 }
 
 func (l *Lab) opts() sim.Options {
@@ -95,15 +112,19 @@ func (l *Lab) DotNetIndividual(m *machine.Config) []core.Measurement {
 	ws := workload.DotNetWorkloads()
 	if n := l.Cfg.DotNetIndividualLimit; n > 0 && n < len(ws) {
 		// Deterministic stride sample across categories rather than a
-		// prefix, so the limited set still spans the suite.
+		// prefix, so the limited set still spans the suite. The loop is
+		// bounded by n itself, so the sample is exactly n workloads for
+		// any suite size; max index (n-1)*(len/n) < len.
 		stride := len(ws) / n
-		sel := make([]workload.Profile, 0, n)
-		for i := 0; i < len(ws) && len(sel) < n; i += stride {
-			sel = append(sel, ws[i])
+		sel := make([]workload.Profile, n)
+		for i := range sel {
+			sel[i] = ws[i*stride]
 		}
 		ws = sel
 	}
-	key := fmt.Sprintf("dotnet-ind/%s/%d", m.Name, len(ws))
+	// Key on the actual selection, not just its size: two configs with
+	// equal limits but different sampled sets must not collide.
+	key := fmt.Sprintf("dotnet-ind/%s/%s", m.Name, selectionID(ws))
 	opts := l.opts()
 	// Individual microbenchmarks are short; a third of the budget each.
 	opts.Instructions = l.Cfg.Instructions/3 + 1000
@@ -139,6 +160,19 @@ var TableIVAspNetSubset = []string{
 // TableIVSpecSubset is the paper's chosen 8-element SPEC CPU17 subset.
 var TableIVSpecSubset = []string{
 	"mcf", "cactuBSSN", "wrf", "gcc", "omnetpp", "perlbench", "xalancbmk", "bwaves",
+}
+
+// selectionID digests a workload selection into a short stable cache-key
+// component: its size plus a hash of the names in order.
+func selectionID(ws []workload.Profile) string {
+	h := fnv.New64a()
+	for _, w := range ws {
+		//charnet:ignore errdiscard hash.Hash.Write is documented to never return an error
+		io.WriteString(h, w.Name)
+		//charnet:ignore errdiscard hash.Hash.Write is documented to never return an error
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%d-%016x", len(ws), h.Sum64())
 }
 
 // subsetMeasurements filters measurements to the named workloads, in the

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// countingCache wraps the store interface and counts misses (Put calls),
+// to observe how many times the Lab actually measured.
+type countingCache struct {
+	puts atomic.Int64
+}
+
+func (c *countingCache) Get([]workload.Profile, *machine.Config, sim.Options) ([]core.Measurement, bool) {
+	return nil, false
+}
+
+func (c *countingCache) Put(_ []workload.Profile, _ *machine.Config, _ sim.Options, _ []core.Measurement) {
+	c.puts.Add(1)
+}
+
+// TestMeasureSingleflight drives many concurrent drivers at one key: the
+// suite must be simulated exactly once, with late callers waiting on the
+// in-flight measurement instead of duplicating it (the Lab.measure race).
+func TestMeasureSingleflight(t *testing.T) {
+	lab := NewLab(Config{Instructions: 2000})
+	counter := &countingCache{}
+	lab.Store = counter
+	m := machine.CoreI9()
+	ps := workload.DotNetCategories()[:4]
+
+	const callers = 8
+	results := make([][]core.Measurement, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = lab.measure("race-key", ps, m, sim.Options{Instructions: 2000})
+		}(i)
+	}
+	wg.Wait()
+
+	if n := counter.puts.Load(); n != 1 {
+		t.Fatalf("suite measured %d times for one key; want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("caller %d received a different measurement slice", i)
+		}
+	}
+}
+
+// TestDotNetIndividualExactLimit checks the stride sample honors the
+// configured limit exactly and spans the suite rather than a prefix, for
+// limits that do not divide the suite size.
+func TestDotNetIndividualExactLimit(t *testing.T) {
+	for _, n := range []int{1, 7, 219} {
+		cfg := Quick()
+		cfg.Instructions = 1200
+		cfg.DotNetIndividualLimit = n
+		lab := NewLab(cfg)
+		ms := lab.DotNetIndividual(machine.CoreI9())
+		if len(ms) != n {
+			t.Fatalf("limit %d yielded %d workloads", n, len(ms))
+		}
+	}
+}
+
+// TestDotNetIndividualKeyedOnSelection checks that two different limits
+// never share a cache entry: the key covers the actual selection.
+func TestDotNetIndividualKeyedOnSelection(t *testing.T) {
+	cfg := Quick()
+	cfg.Instructions = 2000
+	cfg.DotNetIndividualLimit = 5
+	lab := NewLab(cfg)
+	m := machine.CoreI9()
+	a := lab.DotNetIndividual(m)
+	lab.Cfg.DotNetIndividualLimit = 9
+	b := lab.DotNetIndividual(m)
+	if len(a) != 5 || len(b) != 9 {
+		t.Fatalf("got %d and %d measurements, want 5 and 9", len(a), len(b))
+	}
+	// Distinct selections must also be distinct measurement sets: the
+	// 9-sample is not the 5-sample (different strides pick different
+	// workloads past index 0).
+	if a[1].Workload.Name == b[1].Workload.Name {
+		t.Fatalf("different limits picked the same second workload %q — key collision suspected", a[1].Workload.Name)
+	}
+}

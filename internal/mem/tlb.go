@@ -10,6 +10,11 @@ import (
 // associative over virtual page numbers, LRU replacement. A second-level
 // (unified) TLB can back the first level, matching both the Intel STLB and
 // the Arm "2K-entry secondary TLB" of §III-B.
+//
+// Entry storage is packed the same way as mem.Cache: a way holds
+// (vpn<<1)|1 when valid and 0 when empty, so lookups are single word
+// compares, and a per-set MRU index short-circuits the scan for the
+// same-page runs that dominate real address streams.
 type TLB struct {
 	name     string
 	sets     int
@@ -17,9 +22,9 @@ type TLB struct {
 	pageBits uint
 	setMask  uint64
 
-	tags  []uint64
-	valid []bool
+	tags  []uint64 // sets*ways, packed (vpn<<1)|1; 0 = empty
 	ts    []uint64
+	mru   []int32 // per-set most-recently-hit way
 	clock uint64
 
 	next *TLB // optional second level
@@ -72,8 +77,8 @@ func NewTLB(name string, g machine.TLBGeom, next *TLB) *TLB {
 		pageBits: pageBits,
 		setMask:  uint64(sets - 1),
 		tags:     make([]uint64, sets*ways),
-		valid:    make([]bool, sets*ways),
 		ts:       make([]uint64, sets*ways),
+		mru:      make([]int32, sets),
 		next:     next,
 	}
 }
@@ -88,22 +93,28 @@ func (t *TLB) Lookup(addr uint64) bool {
 	t.clock++
 	t.Stats.Lookups++
 	vpn := addr >> t.pageBits
-	set := int(vpn & t.setMask)
-	base := set * t.ways
+	set := vpn & t.setMask
+	word := vpn<<1 | 1
+	base := int(set) * t.ways
+	if m := base + int(t.mru[set]); t.tags[m] == word {
+		t.ts[m] = t.clock
+		return true
+	}
 	for w := 0; w < t.ways; w++ {
-		if t.valid[base+w] && t.tags[base+w] == vpn {
+		if t.tags[base+w] == word {
 			t.ts[base+w] = t.clock
+			t.mru[set] = int32(w)
 			return true
 		}
 	}
 	// First-level miss: consult second level if present.
 	if t.next != nil && t.next.lookupInternal(vpn) {
 		t.Stats.SecondLevelHits++
-		t.fill(base, vpn)
+		t.fillSet(set, word)
 		return false // first level missed, but no walk
 	}
 	t.Stats.Misses++
-	t.fill(base, vpn)
+	t.fillSet(set, word)
 	if t.next != nil {
 		t.next.insert(vpn)
 	}
@@ -113,11 +124,17 @@ func (t *TLB) Lookup(addr uint64) bool {
 // lookupInternal checks the TLB by VPN without recursing further.
 func (t *TLB) lookupInternal(vpn uint64) bool {
 	t.clock++
-	set := int(vpn & t.setMask)
-	base := set * t.ways
+	set := vpn & t.setMask
+	word := vpn<<1 | 1
+	base := int(set) * t.ways
+	if m := base + int(t.mru[set]); t.tags[m] == word {
+		t.ts[m] = t.clock
+		return true
+	}
 	for w := 0; w < t.ways; w++ {
-		if t.valid[base+w] && t.tags[base+w] == vpn {
+		if t.tags[base+w] == word {
 			t.ts[base+w] = t.clock
+			t.mru[set] = int32(w)
 			return true
 		}
 	}
@@ -126,17 +143,18 @@ func (t *TLB) lookupInternal(vpn uint64) bool {
 
 func (t *TLB) insert(vpn uint64) {
 	t.clock++
-	set := int(vpn & t.setMask)
-	t.fill(set*t.ways, vpn)
+	t.fillSet(vpn&t.setMask, vpn<<1|1)
 }
 
-func (t *TLB) fill(base int, vpn uint64) {
+// fillSet installs word into its set: the first empty way, else the LRU
+// way, and marks the filled way MRU.
+func (t *TLB) fillSet(set, word uint64) {
+	base := int(set) * t.ways
 	victim := base
 	oldest := t.ts[base]
 	for w := 0; w < t.ways; w++ {
-		if !t.valid[base+w] {
+		if t.tags[base+w] == 0 {
 			victim = base + w
-			oldest = 0
 			break
 		}
 		if t.ts[base+w] < oldest {
@@ -144,9 +162,9 @@ func (t *TLB) fill(base int, vpn uint64) {
 			victim = base + w
 		}
 	}
-	t.valid[victim] = true
-	t.tags[victim] = vpn
+	t.tags[victim] = word
 	t.ts[victim] = t.clock
+	t.mru[set] = int32(victim - base)
 }
 
 // Warm installs the page containing addr into this TLB and its second
@@ -160,11 +178,121 @@ func (t *TLB) Warm(addr uint64) {
 	}
 }
 
+// WarmRange warms every page of [start, end), equivalent to calling Warm
+// at start, start+pageSize, ... while below end — the shape of every
+// prewarm loop. The page count matches that loop even for unaligned
+// bounds: advancing by one page advances the VPN by exactly one.
+func (t *TLB) WarmRange(start, end uint64) {
+	if end <= start {
+		return
+	}
+	pageSize := uint64(1) << t.pageBits
+	n := (end - start + pageSize - 1) >> t.pageBits
+	v0 := start >> t.pageBits
+	t.bulkInsert(v0, n)
+	if t.next != nil {
+		t.next.bulkInsert(v0, n)
+	}
+}
+
+// bulkInsert installs VPNs v0, v0+1, ..., v0+n-1 with exactly the state
+// transitions of n sequential insert calls, processed set-major: one
+// snapshot per set instead of one victim scan per page.
+//
+// Inserts never check presence (duplicate translations are allowed, as in
+// the per-page path), so every insert fills, and the victim sequence of a
+// set is fixed by its snapshot: empty ways in way order, then the valid
+// entries oldest-first, then — because each fill's timestamp exceeds all
+// earlier ones — the same sequence cycles. Insert i gets ts clock+i+1;
+// consecutive VPNs round-robin sets, so set (v0+k)&mask takes inserts
+// k, k+sets, k+2*sets, ...
+func (t *TLB) bulkInsert(v0, n uint64) {
+	if n == 0 {
+		return
+	}
+	if t.ways > maxBulkWays {
+		// Very wide (fully associative) geometry: scratch would not fit;
+		// keep the per-page path.
+		for i := uint64(0); i < n; i++ {
+			t.insert(v0 + i)
+		}
+		return
+	}
+	sets := uint64(t.sets)
+	ways := t.ways
+	mFull, mRem := n/sets, n%sets
+	cnt := n
+	if cnt > sets {
+		cnt = sets
+	}
+	clockBase := t.clock
+	var order [maxBulkWays]int32
+	var ots [maxBulkWays]uint64
+	for k := uint64(0); k < cnt; k++ {
+		s := (v0 + k) & t.setMask
+		m := mFull
+		if k < mRem {
+			m++
+		}
+		if m == 0 {
+			continue
+		}
+		base := int(s) * ways
+		// Victim sequence sigma: empties in way order, then valid entries
+		// sorted by timestamp (strictly increasing among valid entries, so
+		// the order is total and matches fillSet's oldest-first scan).
+		e0 := 0
+		nPre := 0
+		for w := 0; w < ways; w++ {
+			if t.tags[base+w] == 0 {
+				order[e0] = int32(w)
+				e0++
+			} else {
+				nPre++
+			}
+		}
+		pre := order[e0 : e0+nPre]
+		p := 0
+		for w := 0; w < ways; w++ {
+			if t.tags[base+w] != 0 {
+				ts := t.ts[base+w]
+				q := p
+				for q > 0 && ots[q-1] > ts {
+					pre[q] = pre[q-1]
+					ots[q] = ots[q-1]
+					q--
+				}
+				pre[q] = int32(w)
+				ots[q] = ts
+				p++
+			}
+		}
+		vpn := v0 + k
+		idx := k
+		pop := 0
+		var w int32
+		for tt := uint64(0); tt < m; tt++ {
+			if pop == ways {
+				pop = 0
+			}
+			w = order[pop]
+			pop++
+			i := base + int(w)
+			t.tags[i] = vpn<<1 | 1
+			t.ts[i] = clockBase + idx + 1
+			vpn += sets
+			idx += sets
+		}
+		t.mru[s] = w
+	}
+	t.clock = clockBase + n
+}
+
 // Flush invalidates all entries (and the second level, when private),
 // modeling address-space churn after JIT page remapping.
 func (t *TLB) Flush() {
-	for i := range t.valid {
-		t.valid[i] = false
+	for i := range t.tags {
+		t.tags[i] = 0
 	}
 	if t.next != nil {
 		t.next.Flush()

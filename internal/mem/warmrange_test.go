@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/rng"
+)
+
+// cloneTLB deep-copies a TLB (and its second level) so the same pre-state
+// can be driven through two code paths.
+func cloneTLB(t *TLB) *TLB {
+	d := *t
+	d.tags = append([]uint64(nil), t.tags...)
+	d.ts = append([]uint64(nil), t.ts...)
+	d.mru = append([]int32(nil), t.mru...)
+	if t.next != nil {
+		d.next = cloneTLB(t.next)
+	}
+	return &d
+}
+
+// sameTLBState reports the first difference between two TLBs' complete
+// internal state (second level included), or "" if identical.
+func sameTLBState(a, b *TLB) string {
+	if a.clock != b.clock {
+		return fmt.Sprintf("%s clock %d != %d", a.name, a.clock, b.clock)
+	}
+	if a.Stats != b.Stats {
+		return fmt.Sprintf("%s stats %+v != %+v", a.name, a.Stats, b.Stats)
+	}
+	for i := range a.tags {
+		if a.tags[i] != b.tags[i] {
+			return fmt.Sprintf("%s tags[%d] %#x != %#x", a.name, i, a.tags[i], b.tags[i])
+		}
+		if a.ts[i] != b.ts[i] {
+			return fmt.Sprintf("%s ts[%d] %d != %d", a.name, i, a.ts[i], b.ts[i])
+		}
+	}
+	for s := range a.mru {
+		if a.mru[s] != b.mru[s] {
+			return fmt.Sprintf("%s mru[%d] %d != %d", a.name, s, a.mru[s], b.mru[s])
+		}
+	}
+	if (a.next == nil) != (b.next == nil) {
+		return "second-level presence differs"
+	}
+	if a.next != nil {
+		return sameTLBState(a.next, b.next)
+	}
+	return ""
+}
+
+// TestWarmRangeMatchesWarmLoop drives randomized pre-states and page
+// ranges through WarmRange and the per-page Warm loop it replaces, over
+// set-associative, fully-associative (bulk fallback) and two-level
+// geometries, and requires bit-identical state.
+func TestWarmRangeMatchesWarmLoop(t *testing.T) {
+	build := func() []*TLB {
+		stlb := NewTLB("stlb", machine.TLBGeom{Entries: 128, Ways: 8, PageSize: 4096}, nil)
+		return []*TLB{
+			NewTLB("dtlb", machine.TLBGeom{Entries: 64, Ways: 4, PageSize: 4096}, stlb),
+			NewTLB("fa", machine.TLBGeom{Entries: 48, Ways: 0, PageSize: 4096}, nil),
+			NewTLB("flat", machine.TLBGeom{Entries: 32, Ways: 2, PageSize: 4096}, nil),
+		}
+	}
+	r := rng.New(0xcafe)
+	for trial := 0; trial < 200; trial++ {
+		for gi, ref := range build() {
+			// Random pre-state: lookups (which fill on miss) over a region
+			// overlapping the warmed ranges.
+			for i, nOps := 0, r.Intn(150); i < nOps; i++ {
+				ref.Lookup(uint64(r.Intn(1 << 20)))
+			}
+			opt := cloneTLB(ref)
+			for pass := 0; pass < 2; pass++ {
+				start := uint64(r.Intn(1 << 20))
+				end := start + uint64(r.Intn(1<<20))
+				for a := start; a < end; a += 4096 {
+					ref.Warm(a)
+				}
+				opt.WarmRange(start, end)
+				if diff := sameTLBState(ref, opt); diff != "" {
+					t.Fatalf("geom %d trial %d pass %d range [%#x,%#x): %s",
+						gi, trial, pass, start, end, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestWarmRangeEmpty checks degenerate ranges are no-ops.
+func TestWarmRangeEmpty(t *testing.T) {
+	tl := NewTLB("t", machine.TLBGeom{Entries: 64, Ways: 4, PageSize: 4096}, nil)
+	tl.WarmRange(0x1000, 0x1000)
+	tl.WarmRange(0x2000, 0x1000)
+	if tl.clock != 0 {
+		t.Fatalf("empty range advanced the clock to %d", tl.clock)
+	}
+}

@@ -1,0 +1,159 @@
+// Package mstore is a content-addressed, on-disk measurement store: the
+// persistence layer of the fast measurement pipeline. Suite measurements
+// are keyed by a canonical SHA-256 hash over their complete inputs — the
+// workload profiles, the machine configuration, the simulation options and
+// the store format version — so a warm store answers a repeated
+// measurement request byte-for-byte identically without re-simulating,
+// while any change to a profile, machine model, option or to the
+// serialization format changes the key and transparently invalidates the
+// entry.
+//
+// Layout: one JSON file per suite measurement, dir/<hex key>.json, written
+// atomically (temp file + rename) so concurrent processes sharing a store
+// directory never observe torn entries. Corrupt or unreadable entries are
+// treated as misses.
+package mstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// FormatVersion stamps every key. Bump it whenever the serialized shape of
+// a measurement (or the meaning of any keyed input) changes: old entries
+// then hash to different keys and are simply never read again.
+const FormatVersion = 1
+
+// Store is an on-disk core.MeasurementCache rooted at a directory.
+type Store struct {
+	dir string
+}
+
+var _ core.MeasurementCache = (*Store)(nil)
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("mstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// keyEnvelope is the canonical keyed-input serialization. Field order is
+// fixed by the struct definition and encoding/json is deterministic for
+// these shapes (no maps), so equal inputs always produce equal bytes.
+type keyEnvelope struct {
+	Version  int
+	Profiles []workload.Profile
+	Machine  *machine.Config
+	Options  sim.Options
+}
+
+// Key returns the content hash naming the measurement of ps on m under
+// opts, as a hex string.
+func Key(ps []workload.Profile, m *machine.Config, opts sim.Options) (string, error) {
+	b, err := json.Marshal(keyEnvelope{
+		Version:  FormatVersion,
+		Profiles: ps,
+		Machine:  m,
+		Options:  opts,
+	})
+	if err != nil {
+		return "", fmt.Errorf("mstore: keying: %w", err)
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:]), nil
+}
+
+// rec is the stored form of one core.Measurement. Err does not round-trip
+// as an error value, so it is stored as its message; consumers of cached
+// measurements only nil-check or print measurement errors.
+type rec struct {
+	Workload workload.Profile
+	Vector   metrics.Vector
+	Result   *sim.Result `json:",omitempty"`
+	Err      string      `json:",omitempty"`
+}
+
+// entry is the on-disk file body.
+type entry struct {
+	Version      int
+	Key          string
+	Measurements []rec
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the stored measurements for the given inputs, or (nil,
+// false) on any miss — absent, unreadable or corrupt entries all simply
+// mean "measure".
+func (s *Store) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) ([]core.Measurement, bool) {
+	key, err := Key(ps, m, opts)
+	if err != nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e entry
+	if json.Unmarshal(b, &e) != nil || e.Version != FormatVersion ||
+		e.Key != key || len(e.Measurements) != len(ps) {
+		return nil, false
+	}
+	ms := make([]core.Measurement, len(e.Measurements))
+	for i, r := range e.Measurements {
+		ms[i] = core.Measurement{Workload: r.Workload, Vector: r.Vector, Result: r.Result}
+		if r.Err != "" {
+			ms[i].Err = errors.New(r.Err)
+		}
+	}
+	return ms, true
+}
+
+// Put stores the measurements under the key of their inputs, atomically.
+// Storage failures are silent: the store is a cache, and a failed write
+// only costs a future re-measurement.
+func (s *Store) Put(ps []workload.Profile, m *machine.Config, opts sim.Options, ms []core.Measurement) {
+	key, err := Key(ps, m, opts)
+	if err != nil {
+		return
+	}
+	recs := make([]rec, len(ms))
+	for i, mm := range ms {
+		recs[i] = rec{Workload: mm.Workload, Vector: mm.Vector, Result: mm.Result}
+		if mm.Err != nil {
+			recs[i].Err = mm.Err.Error()
+		}
+	}
+	b, err := json.Marshal(entry{Version: FormatVersion, Key: key, Measurements: recs})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil || os.Rename(tmp.Name(), s.path(key)) != nil {
+		//charnet:ignore errdiscard best-effort cleanup of a temp file that failed to land
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,151 @@
+package mstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testInputs() ([]workload.Profile, *machine.Config, sim.Options) {
+	ps := workload.DotNetCategories()[:6]
+	return ps, machine.CoreI9(), sim.Options{Instructions: 3000}
+}
+
+func TestKeyStability(t *testing.T) {
+	ps, m, opts := testInputs()
+	k1, err := Key(ps, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := Key(ps, m, opts)
+	if k1 != k2 {
+		t.Fatalf("equal inputs produced different keys: %s vs %s", k1, k2)
+	}
+	// Any keyed input change must change the key.
+	o2 := opts
+	o2.Instructions++
+	if k3, _ := Key(ps, m, o2); k3 == k1 {
+		t.Fatal("option change did not change the key")
+	}
+	m2 := *m
+	m2.L3.SizeBytes *= 2
+	if k4, _ := Key(ps, &m2, opts); k4 == k1 {
+		t.Fatal("machine change did not change the key")
+	}
+	if k5, _ := Key(ps[:5], m, opts); k5 == k1 {
+		t.Fatal("profile change did not change the key")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ps, m, opts := testInputs()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(ps, m, opts); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	ms := core.MeasureSuite(ps, m, opts)
+	s.Put(ps, m, opts, ms)
+	got, ok := s.Get(ps, m, opts)
+	if !ok {
+		t.Fatal("store missed just-stored measurements")
+	}
+	if len(got) != len(ms) {
+		t.Fatalf("got %d measurements, want %d", len(got), len(ms))
+	}
+	for i := range ms {
+		if got[i].Workload.Name != ms[i].Workload.Name {
+			t.Fatalf("[%d] workload %q != %q", i, got[i].Workload.Name, ms[i].Workload.Name)
+		}
+		if got[i].Vector != ms[i].Vector {
+			t.Fatalf("[%d] vector changed across round-trip", i)
+		}
+		if (got[i].Err == nil) != (ms[i].Err == nil) {
+			t.Fatalf("[%d] error presence changed across round-trip", i)
+		}
+		if !reflect.DeepEqual(got[i].Result, ms[i].Result) {
+			t.Fatalf("[%d] result changed across round-trip", i)
+		}
+	}
+	// The derived report must be byte-identical too.
+	var live, cached bytes.Buffer
+	if err := report.WriteCSV(&live, report.FromMeasurements(ms)); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteCSV(&cached, report.FromMeasurements(got)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), cached.Bytes()) {
+		t.Fatal("cached measurements render a different report")
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	ps, m, opts := testInputs()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := core.MeasureSuite(ps, m, opts)
+	s.Put(ps, m, opts, ms)
+	key, _ := Key(ps, m, opts)
+	if err := os.WriteFile(filepath.Join(s.Dir(), key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(ps, m, opts); ok {
+		t.Fatal("corrupt entry should read as a miss")
+	}
+}
+
+// TestMeasureEquivalence is the pipeline's determinism contract made
+// explicit: one worker, many workers and a warm store must produce
+// identical measurements — same vectors, same ordering, same report bytes.
+func TestMeasureEquivalence(t *testing.T) {
+	ps, m, opts := testInputs()
+	serial := core.MeasureSuiteWorkers(ps, m, opts, 1)
+	parallel := core.MeasureSuiteWorkers(ps, m, opts, 8)
+
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := core.MeasureSuiteCached(s, ps, m, opts) // cold: measures and stores
+	warm := core.MeasureSuiteCached(s, ps, m, opts)  // warm: served from disk
+
+	render := func(ms []core.Measurement) []byte {
+		var b bytes.Buffer
+		if err := report.WriteCSV(&b, report.FromMeasurements(ms)); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	ref := render(serial)
+	for name, ms := range map[string][]core.Measurement{
+		"parallel": parallel, "cold-cached": first, "warm-cached": warm,
+	} {
+		if len(ms) != len(serial) {
+			t.Fatalf("%s: %d measurements, want %d", name, len(ms), len(serial))
+		}
+		for i := range ms {
+			if ms[i].Workload.Name != serial[i].Workload.Name {
+				t.Fatalf("%s[%d]: ordering differs: %q vs %q", name, i, ms[i].Workload.Name, serial[i].Workload.Name)
+			}
+			if ms[i].Vector != serial[i].Vector {
+				t.Fatalf("%s[%d] (%s): vector differs from serial run", name, i, ms[i].Workload.Name)
+			}
+		}
+		if !bytes.Equal(render(ms), ref) {
+			t.Fatalf("%s: report bytes differ from serial run", name)
+		}
+	}
+}

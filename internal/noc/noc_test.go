@@ -144,3 +144,74 @@ func TestBadSliceCountPanics(t *testing.T) {
 	}()
 	New(cfg, mem.LRU)
 }
+
+// TestInsertRangeMatchesInsertLoop checks the bulk prewarm path against the
+// per-line Insert loop under both placement modes: identical per-slice
+// contents (probed) and identical subsequent access behavior.
+func TestInsertRangeMatchesInsertLoop(t *testing.T) {
+	for _, hashed := range []bool{false, true} {
+		ref := New(machine.CoreI9(), mem.LRU)
+		opt := New(machine.CoreI9(), mem.LRU)
+		ref.UseHashedPlacement(hashed)
+		opt.UseHashedPlacement(hashed)
+		// Overlapping unaligned ranges spanning many slice wraps, plus an
+		// empty one.
+		for _, rg := range [][2]uint64{{0x10020, 0x90020}, {0x4c040, 0x70040}, {0x100000, 0x100000}} {
+			for a := rg[0]; a < rg[1]; a += 64 {
+				ref.Insert(a)
+			}
+			opt.InsertRange(rg[0], rg[1])
+		}
+		for a := uint64(0x10000); a < 0xa0000; a += 64 {
+			if ref.Slices[ref.SliceFor(a)].Probe(ref.sliceLocal(a)) !=
+				opt.Slices[opt.SliceFor(a)].Probe(opt.sliceLocal(a)) {
+				t.Fatalf("hashed=%v: content divergence at %#x", hashed, a)
+			}
+		}
+		// Drive an eviction-heavy access stream and require identical
+		// hit/miss decisions, proving LRU state (not just presence) matches.
+		r := rng.New(7)
+		for i := 0; i < 50000; i++ {
+			a := uint64(r.Intn(0x200000)) &^ 63
+			h1, _ := ref.Access(0, a, 1)
+			h2, _ := opt.Access(0, a, 1)
+			if h1 != h2 {
+				t.Fatalf("hashed=%v: access divergence at %#x (op %d)", hashed, a, i)
+			}
+		}
+	}
+}
+
+// TestInsertRangesMatchesInsertLoop checks the batched prewarm entry point —
+// including a duplicate range, as nursery re-warms produce — against per-line
+// Insert loops under both placement modes.
+func TestInsertRangesMatchesInsertLoop(t *testing.T) {
+	batch := [][2]uint64{
+		{0x10020, 0x90020},
+		{0x200000, 0x280000},
+		{0x4c040, 0x70040}, // overlaps the first
+		{0x10020, 0x90020}, // exact re-warm
+		{0x300000, 0x300000},
+	}
+	for _, hashed := range []bool{false, true} {
+		ref := New(machine.CoreI9(), mem.LRU)
+		opt := New(machine.CoreI9(), mem.LRU)
+		ref.UseHashedPlacement(hashed)
+		opt.UseHashedPlacement(hashed)
+		for _, rg := range batch {
+			for a := rg[0]; a < rg[1]; a += 64 {
+				ref.Insert(a)
+			}
+		}
+		opt.InsertRanges(batch)
+		r := rng.New(13)
+		for i := 0; i < 50000; i++ {
+			a := uint64(r.Intn(0x300000)) &^ 63
+			h1, _ := ref.Access(0, a, 1)
+			h2, _ := opt.Access(0, a, 1)
+			if h1 != h2 {
+				t.Fatalf("hashed=%v: access divergence at %#x (op %d)", hashed, a, i)
+			}
+		}
+	}
+}

@@ -178,6 +178,30 @@ type engine struct {
 	prevSnapshot Counters
 
 	effFootprint int // code footprint after stack-friction scaling
+
+	// Hot-path invariants, hoisted out of the per-instruction loop by
+	// setup/refreshDataLayout. Every value is exactly the expression the
+	// per-instruction code used to evaluate, computed once, so behavior
+	// (and therefore every counter) is bit-identical to the unhoisted
+	// form.
+	width      float64 // float64(m.IssueWidth)
+	invWidth   float64 // 1 / width
+	thrBranch  float64 // p.BranchFrac
+	thrLoad    float64 // p.BranchFrac + p.LoadFrac
+	thrStore   float64 // p.BranchFrac + p.LoadFrac + p.StoreFrac
+	restDenom  float64 // 1 - p.LocalFrac
+	thrCold    float64 // p.SequentialFrac + (1-p.SequentialFrac)*coldFrac
+	l1HitStall float64 // 0.15 + (1-p.ILP)*1.3
+	aluStall   float64 // (1-p.ILP)*0.18
+	pException float64 // p.ExceptionPKI / 1000
+	pContend   float64 // p.ContentionPKI / 1000
+	ipageBytes uint64  // I-TLB page granularity (2 MiB under huge-page code)
+
+	// Cached data-region layout: regionSpan() and per-core bases only
+	// change when the no-compaction ablation grows survivorsReal, so the
+	// per-access calls are replaced by fields refreshed at those points.
+	span      int64
+	coreBases []uint64
 }
 
 // Run executes the workload on the machine and returns counters, a
@@ -364,6 +388,25 @@ func (e *engine) setup() error {
 		e.sharedLLC = noc.New(e.m, e.opts.Policy)
 		e.sharedLLC.UseHashedPlacement(e.opts.Assist.HashedSlicePlacement)
 	}
+	// Per-instruction invariants (see the engine struct comment): each is
+	// exactly the expression the hot path used to evaluate inline.
+	e.width = float64(e.m.IssueWidth)
+	e.invWidth = 1 / e.width
+	e.thrBranch = e.p.BranchFrac
+	e.thrLoad = e.p.BranchFrac + e.p.LoadFrac
+	e.thrStore = e.p.BranchFrac + e.p.LoadFrac + e.p.StoreFrac
+	e.restDenom = 1 - e.p.LocalFrac
+	e.thrCold = e.p.SequentialFrac + (1-e.p.SequentialFrac)*e.coldFrac
+	e.l1HitStall = 0.15 + (1-e.p.ILP)*1.3
+	e.aluStall = (1 - e.p.ILP) * 0.18
+	e.pException = e.p.ExceptionPKI / 1000
+	e.pContend = e.p.ContentionPKI / 1000
+	e.ipageBytes = pageBytes
+	if e.opts.Assist.HugePageCode && e.p.Managed {
+		e.ipageBytes = 2 << 20
+	}
+	e.refreshDataLayout()
+
 	// On an immature stack the JIT lacks hot-path tiering and profile-
 	// guided layout, so execution spreads across far more code (§V-D).
 	methodZipf := e.p.MethodZipf
@@ -410,11 +453,24 @@ func (e *engine) callGap(c *core) int {
 // for ASP.NET), so per-core locality is core-count independent while the
 // total footprint grows with active cores — the §VI-B2 setup.
 func (e *engine) dataBase(c *core) uint64 {
-	span := e.regionSpan()
-	if e.heap != nil {
-		return e.heap.Base() + uint64(c.id)*uint64(span)
+	return e.coreBases[c.id]
+}
+
+// refreshDataLayout recomputes the cached data-region span and per-core
+// base addresses. Called once at setup and again whenever survivorsReal
+// grows (the no-compaction ablation), the only event that moves them.
+func (e *engine) refreshDataLayout() {
+	e.span = e.regionSpan()
+	if e.coreBases == nil {
+		e.coreBases = make([]uint64, e.coreCount())
 	}
-	return nativeDataBase + uint64(c.id)*uint64(span)
+	base := uint64(nativeDataBase)
+	if e.heap != nil {
+		base = e.heap.Base()
+	}
+	for i := range e.coreBases {
+		e.coreBases[i] = base + uint64(i)*uint64(e.span)
+	}
 }
 
 // regionSpan returns the per-core data span. It is stable under normal

@@ -1,25 +1,42 @@
 package sim
 
 // run interleaves perCore instructions across all cores round-robin.
+// The loop is the innermost driver of every measurement; the sampling
+// check and the core-selection modulo are hoisted out of the
+// per-instruction path (the visit order is identical to the historical
+// `cores[i%n]` round-robin).
 func (e *engine) run(perCore uint64) {
-	n := uint64(len(e.cores))
-	total := perCore * n
-	for i := uint64(0); i < total; i++ {
-		c := e.cores[i%n]
-		e.step(c)
-		if e.opts.SampleInterval > 0 && c.id == 0 {
-			e.maybeSample()
+	if e.opts.SampleInterval > 0 {
+		for i := uint64(0); i < perCore; i++ {
+			for _, c := range e.cores {
+				e.step(c)
+				if c.id == 0 {
+					e.maybeSample()
+				}
+			}
+		}
+		return
+	}
+	if len(e.cores) == 1 {
+		c := e.cores[0]
+		for i := uint64(0); i < perCore; i++ {
+			e.step(c)
+		}
+		return
+	}
+	for i := uint64(0); i < perCore; i++ {
+		for _, c := range e.cores {
+			e.step(c)
 		}
 	}
 }
 
 // step executes one application instruction on core c.
 func (e *engine) step(c *core) {
-	width := float64(e.m.IssueWidth)
 	cc := &c.c
 	cc.Instructions++
 	cc.Slots.Retiring++
-	cc.Cycles += 1 / width
+	cc.Cycles += e.invWidth
 
 	inKernel := c.kernelIn > 0
 	if inKernel {
@@ -49,11 +66,11 @@ func (e *engine) step(c *core) {
 	// and load sites are stable, as in real code. ---
 	kind := pcHash(pc)
 	switch {
-	case kind < e.p.BranchFrac:
+	case kind < e.thrBranch:
 		e.execBranch(c, pc)
-	case kind < e.p.BranchFrac+e.p.LoadFrac:
+	case kind < e.thrLoad:
 		e.execLoad(c, inKernel)
-	case kind < e.p.BranchFrac+e.p.LoadFrac+e.p.StoreFrac:
+	case kind < e.thrStore:
 		e.execStore(c, inKernel)
 	default:
 		e.execALU(c)
@@ -98,20 +115,16 @@ func (e *engine) advancePC(c *core, inKernel bool) uint64 {
 // ifetch performs the instruction-side cache/TLB walk and charges
 // frontend-latency stalls.
 func (e *engine) ifetch(c *core, pc uint64) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 
 	// With huge-page code mapping, the I-TLB sees 2 MiB pages: lookups
 	// (and misses) happen at 2 MiB granularity.
-	ipageBytes := uint64(pageBytes)
-	if e.opts.Assist.HugePageCode && e.p.Managed {
-		ipageBytes = 2 << 20
-	}
-	page := pc / ipageBytes
+	page := pc / e.ipageBytes
 	if page != c.lastIPage {
 		c.lastIPage = page
 		walksBefore := c.tlbs.ITLB.Stats.Misses
-		if !c.tlbs.ITLB.Lookup(pc / ipageBytes * pageBytes) {
+		if !c.tlbs.ITLB.Lookup(page * pageBytes) {
 			// First level missed; walk-causing misses get walk latency,
 			// STLB hits a small refill penalty. On an immature managed
 			// stack the STLB holds no steady state (constant code
@@ -194,7 +207,7 @@ func (e *engine) l3Access(c *core, addr uint64) (bool, int) {
 // chargeFEBW charges a frontend bandwidth shortfall split across DSB/MITE
 // according to how much of the hot code the uop cache covers.
 func (e *engine) chargeFEBW(c *core, cycles float64) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 	cc.Cycles += cycles
 	cc.Slots.FEDSB += cycles * e.dsbShare * width
@@ -206,7 +219,7 @@ func (e *engine) chargeFEBW(c *core, cycles float64) {
 // cold in the BTB (fresh JIT code, first visits) mispredict far more —
 // the §VII-A1 cold-start mechanism.
 func (e *engine) execBranch(c *core, pc uint64) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 	cc.Branches++
 
@@ -270,9 +283,9 @@ func (e *engine) dataAddress(c *core, inKernel bool) (addr uint64, sequential bo
 		// Stack/temporal-reuse accesses: a hot 4 KiB frame.
 		return stackBase + uint64(c.id)<<20 + uint64(c.r.Intn(pageBytes)), false
 	}
-	span := e.regionSpan()
-	base := e.dataBase(c)
-	rest := (roll - e.p.LocalFrac) / (1 - e.p.LocalFrac)
+	span := e.span
+	base := e.coreBases[c.id]
+	rest := (roll - e.p.LocalFrac) / e.restDenom
 	if rest < e.p.SequentialFrac {
 		c.seqAddr += 8
 		if c.seqAddr < base || c.seqAddr >= base+uint64(span) {
@@ -280,7 +293,7 @@ func (e *engine) dataAddress(c *core, inKernel bool) (addr uint64, sequential bo
 		}
 		return c.seqAddr, true
 	}
-	if rest < e.p.SequentialFrac+(1-e.p.SequentialFrac)*e.coldFrac {
+	if rest < e.thrCold {
 		// Cold wander over the whole span.
 		return base + uint64(c.r.Intn(int(span))), false
 	}
@@ -303,7 +316,7 @@ func (e *engine) dataAddress(c *core, inKernel bool) (addr uint64, sequential bo
 
 // execLoad performs one load.
 func (e *engine) execLoad(c *core, inKernel bool) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 	cc.Loads++
 	addr, sequential := e.dataAddress(c, inKernel)
@@ -327,7 +340,7 @@ func (e *engine) execLoad(c *core, inKernel bool) {
 		// low-ILP code cannot hide the ~4-cycle L1 latency and accumulates
 		// visible L1-bound stalls (the ASP.NET D-cache observation in
 		// §VI-B2).
-		stall := 0.15 + (1-e.p.ILP)*1.3
+		stall := e.l1HitStall
 		cc.Cycles += stall
 		cc.Slots.BEL1Bound += stall * width
 	} else {
@@ -370,7 +383,7 @@ func (e *engine) execLoad(c *core, inKernel bool) {
 
 // execStore performs one store.
 func (e *engine) execStore(c *core, inKernel bool) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 	cc.Stores++
 	addr, _ := e.dataAddress(c, inKernel)
@@ -417,7 +430,7 @@ func (e *engine) execStore(c *core, inKernel bool) {
 
 // execALU performs a non-memory, non-branch instruction.
 func (e *engine) execALU(c *core) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 	if c.r.Bool(e.p.MicrocodeFrac) {
 		// Microcode sequencer switch.
@@ -429,7 +442,7 @@ func (e *engine) execALU(c *core) {
 		cc.Slots.BEDivider += 8 * width
 	}
 	// Intrinsic ILP limits: empty issue ports.
-	stall := (1 - e.p.ILP) * 0.18
+	stall := e.aluStall
 	cc.Cycles += stall
 	cc.Slots.BEPortsUtil += stall * width
 }

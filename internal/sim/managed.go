@@ -10,7 +10,7 @@ import (
 // allocation (with page faults and GC triggering), JIT churn, exceptions
 // and lock contention.
 func (e *engine) managedStep(c *core) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 
 	// Allocation: real bytes accumulate; the heap sees them time-
@@ -64,14 +64,14 @@ func (e *engine) managedStep(c *core) {
 		e.switchMethod(c)
 	}
 
-	if c.r.Bool(e.p.ExceptionPKI / 1000) {
+	if c.r.Bool(e.pException) {
 		e.log.Emit(clr.EvException, uint64(cc.Cycles))
 		// Exception dispatch: microcoded unwinding plus a kernel episode.
 		cc.Cycles += 120
 		cc.Slots.FEMSSwitch += 120 * width
 		c.kernelIn += 160
 	}
-	if c.r.Bool(e.p.ContentionPKI / 1000) {
+	if c.r.Bool(e.pContend) {
 		e.log.Emit(clr.EvContention, uint64(cc.Cycles))
 		cc.Cycles += 180
 		cc.Slots.BEPortsUtil += 180 * width
@@ -84,7 +84,7 @@ func (e *engine) managedStep(c *core) {
 // and the compaction benefit (smaller effective region) takes effect in
 // the heap itself.
 func (e *engine) chargeGC(c *core) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	cc := &c.c
 	if e.opts.Assist.GCOffload {
 		// Hardware GC engine (§VIII what-if): the heap walk and
@@ -98,6 +98,7 @@ func (e *engine) chargeGC(c *core) {
 		cc.Cycles += handshake / width
 		if e.opts.DisableCompaction {
 			e.survivorsReal += e.nurseryReal / 10
+			e.refreshDataLayout()
 		}
 		e.nurseryReal = 0
 		return
@@ -131,6 +132,7 @@ func (e *engine) chargeGC(c *core) {
 	// survivors scatter and the effective region keeps growing.
 	if e.opts.DisableCompaction {
 		e.survivorsReal += e.nurseryReal / 10
+		e.refreshDataLayout()
 	}
 	e.nurseryReal = 0
 }
@@ -169,7 +171,7 @@ func (e *engine) switchMethod(c *core) {
 // instructions execute (retiring), new code pages fault in, and the fresh
 // address range is cold in every PC-indexed structure by construction.
 func (e *engine) chargeJITCompile(c *core, res clr.CallResult) {
-	width := float64(e.m.IssueWidth)
+	width := e.width
 	instr := res.CompileInstructions
 	c.c.Instructions += instr
 	c.c.JITCompileInstr += instr

@@ -5,14 +5,16 @@ package sim
 // processes (15 repetitions with the first discarded; ASP.NET warmed until
 // <5% variance); a short simulation window would otherwise spend itself
 // on cold misses that real measurements amortized away long ago.
+//
+// Ranges are batched per cache and executed with one InsertRanges call
+// each, which processes the whole batch set-major (one snapshot per set).
+// Batching only reorders inserts across *distinct* caches and TLBs, which
+// share no state; each structure still sees its ranges in original order.
 func (e *engine) prewarm() {
-	insertL3 := func(addr uint64) {
-		if e.sharedLLC != nil {
-			e.sharedLLC.Insert(addr)
-		} else {
-			for _, c := range e.cores {
-				c.l3.Insert(addr)
-			}
+	llc := make([][2]uint64, 0, 2+4*len(e.cores))
+	addLLC := func(start, end uint64) {
+		if end > start {
+			llc = append(llc, [2]uint64{start, end})
 		}
 	}
 	// Code regions: application + kernel code are LLC- and L2-resident.
@@ -27,16 +29,14 @@ func (e *engine) prewarm() {
 	if codeEnd-codeStart > codeCap {
 		codeEnd = codeStart + codeCap
 	}
-	for a := codeStart; a < codeEnd; a += lineBytes {
-		insertL3(a)
-	}
+	addLLC(codeStart, codeEnd)
 	kEnd := uint64(kernelCodeBase + kernelCodeBytes)
 	if e.p.KernelFrac > 0.005 {
-		for a := uint64(kernelCodeBase); a < kEnd; a += lineBytes {
-			insertL3(a)
-		}
+		addLLC(kernelCodeBase, kEnd)
 	}
+	l2b := make([][2]uint64, 0, 4)
 	for _, c := range e.cores {
+		l2b = l2b[:0]
 		// L2: the start of the code region (hot methods live everywhere in
 		// it, but LRU steady state keeps roughly this much resident).
 		l2Cap := uint64(e.m.L2.SizeBytes / 2)
@@ -44,29 +44,22 @@ func (e *engine) prewarm() {
 		if end-codeStart > l2Cap {
 			end = codeStart + l2Cap
 		}
-		for a := codeStart; a < end; a += lineBytes {
-			c.l2.Insert(a)
-		}
+		l2b = append(l2b, [2]uint64{codeStart, end})
 		// L1I: the hottest slice of code.
-		for a := codeStart; a < codeStart+16*1024 && a < codeEnd; a += lineBytes {
-			c.l1i.Insert(a)
+		l1iEnd := codeStart + 16*1024
+		if l1iEnd > codeEnd {
+			l1iEnd = codeEnd
 		}
+		c.l1i.InsertRange(codeStart, l1iEnd)
 		// Stack frame: L1D-resident.
 		sbase := uint64(stackBase) + uint64(c.id)<<20
-		for a := sbase; a < sbase+pageBytes; a += lineBytes {
-			c.l1d.Insert(a)
-		}
 		c.tlbs.DTLB.Warm(sbase)
 		// Kernel data buffers: L2/LLC-resident.
 		if e.p.KernelFrac > 0.005 {
 			kbase := kernelDataBase + uint64(c.id)<<20
-			for a := kbase; a < kbase+(1<<16); a += lineBytes {
-				c.l2.Insert(a)
-				insertL3(a)
-			}
-			for a := kbase; a < kbase+(1<<16); a += pageBytes {
-				c.tlbs.DTLB.Warm(a)
-			}
+			l2b = append(l2b, [2]uint64{kbase, kbase + (1 << 16)})
+			addLLC(kbase, kbase+(1<<16))
+			c.tlbs.DTLB.WarmRange(kbase, kbase+(1<<16))
 		}
 		// Warm data region: LLC-resident, top slice L2/L1-resident.
 		span := e.regionSpan()
@@ -75,21 +68,16 @@ func (e *engine) prewarm() {
 			warm = warmRegionCap
 		}
 		base := e.dataBase(c)
-		for a := base; a < base+uint64(warm); a += lineBytes {
-			insertL3(a)
-		}
-		for a := base; a < base+uint64(warm)/4; a += lineBytes {
-			c.l2.Insert(a)
-		}
-		for a := base; a < base+8*1024; a += lineBytes {
-			c.l1d.Insert(a)
-		}
+		addLLC(base, base+uint64(warm))
+		l2b = append(l2b, [2]uint64{base, base + uint64(warm)/4})
+		c.l1d.InsertRanges([][2]uint64{
+			{sbase, sbase + pageBytes},
+			{base, base + 8*1024},
+		})
 		// Cold span: LLC-resident while it fits (cache-resident
 		// microbenchmarks); large spans stay cold, as on hardware.
 		if span <= int64(e.m.L3.SizeBytes)/int64(len(e.cores)) {
-			for a := base + uint64(warm); a < base+uint64(span); a += lineBytes {
-				insertL3(a)
-			}
+			addLLC(base+uint64(warm), base+uint64(span))
 		}
 		// Nursery window: in steady state the gen0 region's addresses are
 		// recycled every collection cycle and stay cache-resident; only
@@ -100,33 +88,31 @@ func (e *engine) prewarm() {
 				window = 8 << 20
 			}
 			nbase := e.heap.Base() + uint64(e.p.WorkingSetBytes)
-			for a := nbase; a < nbase+uint64(window); a += lineBytes {
-				insertL3(a)
-			}
+			addLLC(nbase, nbase+uint64(window))
 			if window <= int64(e.m.L2.SizeBytes)/2 {
-				for a := nbase; a < nbase+uint64(window); a += lineBytes {
-					c.l2.Insert(a)
-				}
+				l2b = append(l2b, [2]uint64{nbase, nbase + uint64(window)})
 			}
-			for a := nbase; a < nbase+uint64(window); a += pageBytes {
-				c.tlbs.DTLB.Warm(a)
-			}
+			c.tlbs.DTLB.WarmRange(nbase, nbase+uint64(window))
 		}
+		c.l2.InsertRanges(l2b)
 		// TLBs: code pages and warm data pages. A sparse page-aligned code
 		// layout (immature JIT) has far more pages than the TLB hierarchy
 		// holds, so there is no steady warm state to install.
 		if !(e.p.Managed && e.m.StackFriction > 2) {
-			for a := codeStart; a < codeEnd; a += pageBytes {
-				c.tlbs.ITLB.Warm(a)
-			}
+			c.tlbs.ITLB.WarmRange(codeStart, codeEnd)
 		}
 		if e.p.KernelFrac > 0.005 {
-			for a := uint64(kernelCodeBase); a < kEnd; a += pageBytes {
-				c.tlbs.ITLB.Warm(a)
-			}
+			c.tlbs.ITLB.WarmRange(kernelCodeBase, kEnd)
 		}
-		for a := base; a < base+uint64(warm); a += pageBytes {
-			c.tlbs.DTLB.Warm(a)
+		c.tlbs.DTLB.WarmRange(base, base+uint64(warm))
+	}
+	// All LLC ranges in original global order, executed in one batch per
+	// target cache (one shared LLC, or every core's private LLC).
+	if e.sharedLLC != nil {
+		e.sharedLLC.InsertRanges(llc)
+	} else {
+		for _, c := range e.cores {
+			c.l3.InsertRanges(llc)
 		}
 	}
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — the benchmark-regression harness.
+#
+# Runs the full benchmark suite (per-figure pipeline benchmarks plus the
+# simulator micro-benchmarks), records a BENCH_<rev>.json snapshot via
+# cmd/benchdiff, and compares it against the most recent record committed
+# on an ancestor revision. Exits nonzero if any benchmark regressed more
+# than the tolerance (default 10%).
+#
+# Environment knobs:
+#   BENCH      benchmark regexp        (default ".")
+#   BENCHTIME  go test -benchtime      (default "1s")
+#   COUNT      go test -count          (default 3; min across runs is kept)
+#   BENCH_TOL  allowed slowdown        (default 0.10)
+#   BENCH_BASE explicit baseline file  (default: newest BENCH_<rev>.json of
+#              an ancestor commit)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+rev=$(git rev-parse --short=7 HEAD)
+if ! git diff --quiet HEAD 2>/dev/null; then
+    rev="${rev}-dirty"
+fi
+out="BENCH_${rev}.json"
+
+echo "== go test -bench (rev ${rev})"
+go test -run=NONE -bench="${BENCH:-.}" -benchtime="${BENCHTIME:-1s}" \
+    -count="${COUNT:-3}" ./... |
+    go run ./cmd/benchdiff record -rev "$rev" -out "$out"
+echo "recorded $out"
+
+# Baseline: newest BENCH_<rev>.json whose rev is an ancestor commit (not
+# this one). Explicit override via BENCH_BASE.
+base="${BENCH_BASE:-}"
+if [[ -z "$base" ]]; then
+    for r in $(git rev-list --abbrev-commit --abbrev=7 HEAD); do
+        if [[ "$r" != "${rev%-dirty}" && -f "BENCH_${r}.json" ]]; then
+            base="BENCH_${r}.json"
+            break
+        fi
+    done
+fi
+if [[ -z "$base" ]]; then
+    echo "no baseline record found; $out is the new baseline"
+    exit 0
+fi
+
+echo "== benchdiff compare"
+go run ./cmd/benchdiff compare -tol "${BENCH_TOL:-0.10}" "$base" "$out"

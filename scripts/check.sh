@@ -30,4 +30,7 @@ go run ./cmd/charnet-vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (compile + one iteration)"
+go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
+
 echo "ok: all checks passed"
