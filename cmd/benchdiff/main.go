@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	go test -run=NONE -bench=. ./... | benchdiff record -rev REV -out BENCH_REV.json
-//	benchdiff compare [-tol 0.10] OLD.json NEW.json
+//	go test -run=NONE -bench=. ./... | benchdiff record -rev REV [-phases FILE] -out BENCH_REV.json
+//	benchdiff compare [-tol 0.10] [-phase-tol 0.35] OLD.json NEW.json
 //
 // record parses standard `go test -bench` output from stdin and writes a
 // JSON record mapping benchmark names to ns/op (the minimum across -count
-// repetitions, the conventional low-noise statistic).
+// repetitions, the conventional low-noise statistic). With -phases it also
+// merges a `charnet -profile-json` phase file into the record as
+// "phase:<name>" entries, so a regression localizes to a pipeline phase
+// (table3, fig11, ...) rather than just "the pipeline".
 //
 // compare exits nonzero if any benchmark present in both records is
-// slower in NEW by more than the tolerance (default 10%). scripts/bench.sh
-// drives both halves.
+// slower in NEW by more than the tolerance (default 10%; "phase:" entries
+// are single whole-pipeline runs and get the looser -phase-tol, default
+// 35%). scripts/bench.sh drives both halves.
 package main
 
 import (
@@ -53,8 +57,8 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: benchdiff record -rev REV -out FILE < bench-output
-       benchdiff compare [-tol FRAC] OLD.json NEW.json`)
+	fmt.Fprintln(os.Stderr, `usage: benchdiff record -rev REV [-phases FILE] -out FILE < bench-output
+       benchdiff compare [-tol FRAC] [-phase-tol FRAC] OLD.json NEW.json`)
 	os.Exit(2)
 }
 
@@ -63,6 +67,7 @@ func record(args []string) error {
 	rev := fs.String("rev", "unknown", "revision label for the record")
 	note := fs.String("note", "", "free-form annotation")
 	out := fs.String("out", "", "output file (default stdout)")
+	phases := fs.String("phases", "", "charnet -profile-json file to merge as phase:<name> entries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +93,11 @@ func record(args []string) error {
 	if len(rec.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
+	if *phases != "" {
+		if err := mergePhases(&rec, *phases); err != nil {
+			return err
+		}
+	}
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -98,6 +108,32 @@ func record(args []string) error {
 		return err
 	}
 	return os.WriteFile(*out, b, 0o644)
+}
+
+// phasePrefix marks whole-pipeline phase wall-times inside a record; they
+// come from one run each, so compare applies the looser -phase-tol.
+const phasePrefix = "phase:"
+
+// mergePhases folds a `charnet -profile-json` file ({"phases": {name:
+// nanoseconds}}) into the record under phase-prefixed names.
+func mergePhases(rec *Record, path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Phases map[string]float64 `json:"phases"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Phases) == 0 {
+		return fmt.Errorf("%s: no phases recorded", path)
+	}
+	for name, ns := range doc.Phases {
+		rec.Benchmarks[phasePrefix+name] = ns
+	}
+	return nil
 }
 
 // parseBenchLine extracts (name, ns/op) from a `go test -bench` result
@@ -130,6 +166,7 @@ func parseBenchLine(line string) (string, float64, bool) {
 func compare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	tol := fs.Float64("tol", 0.10, "allowed slowdown fraction before failing")
+	phaseTol := fs.Float64("phase-tol", 0.35, "allowed slowdown fraction for phase:<name> entries (single runs, noisier)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -151,8 +188,8 @@ func compare(args []string) error {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.0f%%\n",
-		fs.Arg(0), old.Rev, fs.Arg(1), cur.Rev, *tol*100)
+	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.0f%% (%.0f%% for phases)\n",
+		fs.Arg(0), old.Rev, fs.Arg(1), cur.Rev, *tol*100, *phaseTol*100)
 	var regressed int
 	for _, name := range names {
 		newNS := cur.Benchmarks[name]
@@ -161,13 +198,17 @@ func compare(args []string) error {
 			fmt.Printf("  new      %-40s %14.0f ns/op\n", name, newNS)
 			continue
 		}
+		t := *tol
+		if strings.HasPrefix(name, phasePrefix) {
+			t = *phaseTol
+		}
 		ratio := newNS / oldNS
 		mark := "  ok      "
 		switch {
-		case ratio > 1+*tol:
+		case ratio > 1+t:
 			mark = "  REGRESS "
 			regressed++
-		case ratio < 1-*tol:
+		case ratio < 1-t:
 			mark = "  faster  "
 		}
 		fmt.Printf("%s%-40s %14.0f -> %14.0f ns/op (%.2fx)\n", mark, name, oldNS, newNS, ratio)
@@ -183,7 +224,7 @@ func compare(args []string) error {
 		fmt.Printf("  dropped %-40s %14.0f ns/op\n", name, old.Benchmarks[name])
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressed, *tol*100)
+		return fmt.Errorf("%d benchmark(s) regressed beyond tolerance", regressed)
 	}
 	fmt.Println("no regressions beyond tolerance")
 	return nil

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	cases := []struct {
@@ -22,5 +27,61 @@ func TestParseBenchLine(t *testing.T) {
 			t.Errorf("parseBenchLine(%q) = (%q, %v, %v), want (%q, %v, %v)",
 				c.line, name, ns, ok, c.name, c.ns, c.ok)
 		}
+	}
+}
+
+func TestMergePhases(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "phases.json")
+	if err := os.WriteFile(path, []byte(`{"phases":{"table3":103318454,"fig11":88000000}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Benchmarks: map[string]float64{"BenchmarkTableIV": 100}}
+	if err := mergePhases(&rec, path); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Benchmarks["phase:table3"]; got != 103318454 {
+		t.Errorf("phase:table3 = %v, want 103318454", got)
+	}
+	if got := rec.Benchmarks["phase:fig11"]; got != 88000000 {
+		t.Errorf("phase:fig11 = %v, want 88000000", got)
+	}
+	if got := rec.Benchmarks["BenchmarkTableIV"]; got != 100 {
+		t.Errorf("existing benchmark clobbered: %v", got)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"phases":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mergePhases(&rec, empty); err == nil {
+		t.Error("empty phase file should be an error")
+	}
+}
+
+// TestPhaseTolerance: a 20% slowdown regresses a benchmark (tol 10%) but
+// not a phase entry (phase-tol 35%).
+func TestPhaseTolerance(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rec Record) string {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("old.json", Record{Rev: "a", Benchmarks: map[string]float64{"phase:table3": 100}})
+	cur := write("new.json", Record{Rev: "b", Benchmarks: map[string]float64{"phase:table3": 120}})
+	if err := compare([]string{old, cur}); err != nil {
+		t.Errorf("20%% phase slowdown should pass the 35%% phase tolerance: %v", err)
+	}
+	oldB := write("oldb.json", Record{Rev: "a", Benchmarks: map[string]float64{"BenchmarkX": 100}})
+	curB := write("newb.json", Record{Rev: "b", Benchmarks: map[string]float64{"BenchmarkX": 120}})
+	if err := compare([]string{oldB, curB}); err == nil {
+		t.Error("20%% benchmark slowdown should fail the 10%% tolerance")
 	}
 }

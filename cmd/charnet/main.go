@@ -4,7 +4,24 @@
 //
 // Usage:
 //
-//	charnet [-full] [-cache DIR] <command>
+//	charnet [-full] [-cache DIR] [-workers N] [-trace-out FILE]
+//	        [-events-out FILE] [-profile-json FILE] [-progress]
+//	        [-pprof ADDR] <command>
+//
+// Observability flags (all output goes to stderr or files; experiment
+// stdout is byte-identical with or without them):
+//
+//	-workers N         bound the measurement worker pool (0 = GOMAXPROCS)
+//	-trace-out FILE    write a Chrome trace-event JSON file (load it at
+//	                   https://ui.perfetto.dev or chrome://tracing)
+//	-events-out FILE   write the span/counter/gauge event log as JSONL
+//	-profile-json FILE write top-level phase wall-times as JSON
+//	                   (consumed by scripts/bench.sh)
+//	-progress          live driver/suite progress lines on stderr
+//	-pprof ADDR        serve net/http/pprof and expvar on ADDR
+//
+// Any of these (except -workers) also prints the end-of-run text
+// self-profile tree on stderr.
 //
 // Commands:
 //
@@ -37,8 +54,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 
 	"repro/charnet"
@@ -46,6 +67,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/mstore"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/textplot"
 )
@@ -53,6 +75,12 @@ import (
 func main() {
 	full := flag.Bool("full", false, "full-fidelity runs (all workloads, more instructions)")
 	cacheDir := flag.String("cache", "", "persistent measurement store directory (reuses identical measurements across runs)")
+	workers := flag.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
+	eventsOut := flag.String("events-out", "", "write the observability event log as JSONL")
+	profileJSON := flag.String("profile-json", "", "write top-level phase wall-times as JSON")
+	progress := flag.Bool("progress", false, "live per-driver/per-suite progress on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -63,25 +91,91 @@ func main() {
 	if *full {
 		cfg = experiments.Full()
 	}
+	cfg.Workers = *workers
 	lab := experiments.NewLab(cfg)
+
+	// The trace exists only when some observability output was requested:
+	// an untraced run keeps the nil no-op path everywhere.
+	var tr *obs.Trace
+	if *traceOut != "" || *eventsOut != "" || *profileJSON != "" || *progress || *pprofAddr != "" {
+		var opts []obs.Option
+		if *progress {
+			opts = append(opts, obs.WithProgress(os.Stderr))
+		}
+		tr = obs.New(opts...)
+		lab.Obs = tr
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("charnet", expvar.Func(func() any { return tr.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "charnet: pprof server: %v\n", err)
+			}
+		}()
+	}
+
 	if *cacheDir != "" {
 		store, err := mstore.Open(*cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
 			os.Exit(1)
 		}
+		store.Obs = tr
 		lab.Store = store
 	}
 
 	cmd := flag.Arg(0)
-	if err := dispatch(lab, cmd, flag.Args()[1:]); err != nil {
+	derr := dispatch(lab, cmd, flag.Args()[1:])
+	if err := writeObsOutputs(tr, *traceOut, *eventsOut, *profileJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
+		if derr == nil {
+			os.Exit(1)
+		}
+	}
+	if derr != nil {
+		fmt.Fprintf(os.Stderr, "charnet: %v\n", derr)
 		os.Exit(1)
 	}
 }
 
+// writeObsOutputs lands the requested trace artifacts and prints the text
+// self-profile on stderr. Observability output never touches stdout.
+func writeObsOutputs(tr *obs.Trace, traceOut, eventsOut, profileJSON string) error {
+	if tr == nil {
+		return nil
+	}
+	writeFile := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			//charnet:ignore errdiscard the write error already reports this path's failure
+			f.Close()
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		if err := writeFile(traceOut, tr.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if eventsOut != "" {
+		if err := writeFile(eventsOut, tr.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if profileJSON != "" {
+		if err := writeFile(profileJSON, tr.WritePhasesJSON); err != nil {
+			return err
+		}
+	}
+	return tr.WriteSelfProfile(os.Stderr)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] <metrics|machines|suites|run NAME|table3|table4|fig1..fig14|all>")
+	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-progress] [-pprof ADDR] <metrics|machines|suites|run NAME|table3|table4|fig1..fig14|all>")
 }
 
 type figure func(*experiments.Lab) (fmt.Stringer, error)
@@ -123,21 +217,21 @@ func wrap[T fmt.Stringer](f func(*experiments.Lab) (T, error)) figure {
 func dispatch(lab *experiments.Lab, cmd string, args []string) error {
 	switch cmd {
 	case "metrics":
-		return printMetrics()
+		return inDriverSpan(lab, cmd, printMetrics)
 	case "machines":
-		return printMachines()
+		return inDriverSpan(lab, cmd, printMachines)
 	case "suites":
-		return printSuites()
+		return inDriverSpan(lab, cmd, printSuites)
 	case "run":
 		if len(args) < 1 {
 			return fmt.Errorf("run requires a workload name")
 		}
-		return runOne(lab, args[0])
+		return inDriverSpan(lab, cmd, func() error { return runOne(lab, args[0]) })
 	case "trace":
 		if len(args) < 1 {
 			return fmt.Errorf("trace requires a workload name")
 		}
-		return traceOne(lab, args[0])
+		return inDriverSpan(lab, cmd, func() error { return traceOne(lab, args[0]) })
 	case "export":
 		if len(args) < 1 {
 			return fmt.Errorf("export requires a suite: dotnet|aspnet|spec")
@@ -146,13 +240,13 @@ func dispatch(lab *experiments.Lab, cmd string, args []string) error {
 		if len(args) > 1 {
 			format = args[1]
 		}
-		return exportSuite(lab, args[0], format)
+		return inDriverSpan(lab, cmd, func() error { return exportSuite(lab, args[0], format) })
 	case "all":
 		for _, f := range figures {
 			if f.name == "fig12" {
 				continue // included in fig11 output
 			}
-			if err := printFigure(lab, f.run); err != nil {
+			if err := printFigure(lab, f.name, f.run); err != nil {
 				return fmt.Errorf("%s: %w", f.name, err)
 			}
 		}
@@ -160,14 +254,24 @@ func dispatch(lab *experiments.Lab, cmd string, args []string) error {
 	}
 	for _, f := range figures {
 		if f.name == cmd {
-			return printFigure(lab, f.run)
+			return printFigure(lab, f.name, f.run)
 		}
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }
 
-func printFigure(lab *experiments.Lab, f figure) error {
+// inDriverSpan runs one command under a top-level "driver" span, the root
+// of the trace's span taxonomy.
+func inDriverSpan(lab *experiments.Lab, name string, f func() error) error {
+	span := lab.Obs.Span("driver", name)
+	defer span.End()
+	return f()
+}
+
+func printFigure(lab *experiments.Lab, name string, f figure) error {
+	span := lab.Obs.Span("driver", name)
 	res, err := f(lab)
+	span.End()
 	if err != nil {
 		return err
 	}

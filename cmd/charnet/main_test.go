@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // tinyLab is the smallest configuration the drivers accept.
@@ -63,5 +69,100 @@ func TestExportArgs(t *testing.T) {
 	}
 	if err := dispatch(lab, "export", []string{"spec", "json"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceOutSchema drives a real figure with tracing on and validates
+// the -trace-out artifact: valid JSON, only known phases, complete ("X")
+// events with timestamps and non-negative durations, and the span
+// taxonomy's driver/measure/sim layers all present.
+func TestTraceOutSchema(t *testing.T) {
+	lab := tinyLab()
+	tr := obs.New()
+	lab.Obs = tr
+	if err := dispatch(lab, "table3", nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	phasesPath := filepath.Join(dir, "phases.json")
+	var selfProfile strings.Builder
+	// writeObsOutputs prints the self-profile to stderr in production; the
+	// file artifacts are what the schema check needs.
+	if err := func() error {
+		for path, write := range map[string]func(io.Writer) error{
+			tracePath:  tr.WriteChromeTrace,
+			eventsPath: tr.WriteJSONL,
+			phasesPath: tr.WritePhasesJSON,
+		} {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := write(f); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return tr.WriteSelfProfile(&selfProfile)
+	}(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("-trace-out artifact is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event without ts: %v", ev)
+			}
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("X event without non-negative dur: %v", ev)
+			}
+			if args, ok := ev["args"].(map[string]any); ok {
+				if span, _ := args["span"].(string); span != "" {
+					seen[span] = true
+				}
+			}
+		case "B", "E", "C", "M", "i", "I":
+		default:
+			t.Fatalf("unknown phase %q: %v", ph, ev)
+		}
+	}
+	for _, span := range []string{"driver", "measure", "sim", "prewarm", "run", "derive"} {
+		if !seen[span] {
+			t.Errorf("trace missing %q spans (got %v)", span, seen)
+		}
+	}
+	if !strings.Contains(selfProfile.String(), "driver table3") {
+		t.Errorf("self-profile missing the driver row:\n%s", selfProfile.String())
+	}
+
+	var phases struct {
+		Phases map[string]float64 `json:"phases"`
+	}
+	pb, err := os.ReadFile(phasesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pb, &phases); err != nil {
+		t.Fatal(err)
+	}
+	if phases.Phases["table3"] <= 0 {
+		t.Errorf("phases.json missing a positive table3 wall time: %v", phases.Phases)
 	}
 }

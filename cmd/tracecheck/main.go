@@ -1,0 +1,125 @@
+// Command tracecheck validates a Chrome trace-event JSON file, the format
+// charnet -trace-out emits. scripts/check.sh runs it as the trace smoke
+// test: it proves the exported trace is loadable before anyone pastes it
+// into Perfetto.
+//
+// Usage:
+//
+//	tracecheck FILE
+//
+// Accepted input is either the object form {"traceEvents": [...]} or the
+// bare JSON-array form. Checks: every event has a known phase (X, B, E, C,
+// M, i or I); complete ("X") events carry a timestamp and a non-negative
+// duration; duration ("B"/"E") events balance per (pid, tid). Exit status:
+// 0 valid, 1 invalid, 2 usage or read error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// event is the subset of the trace-event schema the checker cares about.
+// Pointer fields distinguish "absent" from zero.
+type event struct {
+	Ph   string   `json:"ph"`
+	Name string   `json:"name"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	Ts   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE")
+		os.Exit(2)
+	}
+	events, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems := check(events)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s: %d events ok\n", os.Args[1], len(events))
+}
+
+func load(path string) ([]event, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err == nil && doc.TraceEvents != nil {
+		return doc.TraceEvents, nil
+	}
+	var arr []event
+	if err := json.Unmarshal(b, &arr); err != nil {
+		return nil, fmt.Errorf("%s: neither a trace object nor an event array: %v", path, err)
+	}
+	return arr, nil
+}
+
+func check(events []event) []string {
+	var problems []string
+	if len(events) == 0 {
+		return []string{"no trace events"}
+	}
+	type thread struct{ pid, tid int }
+	open := map[thread]int{}
+	for i, ev := range events {
+		where := func(msg string) string {
+			return fmt.Sprintf("event %d (%s %q): %s", i, ev.Ph, ev.Name, msg)
+		}
+		switch ev.Ph {
+		case "X":
+			if ev.Ts == nil {
+				problems = append(problems, where("complete event without ts"))
+			}
+			if ev.Dur == nil {
+				problems = append(problems, where("complete event without dur"))
+			} else if *ev.Dur < 0 {
+				problems = append(problems, where("negative dur"))
+			}
+		case "B":
+			open[thread{ev.Pid, ev.Tid}]++
+		case "E":
+			k := thread{ev.Pid, ev.Tid}
+			if open[k] == 0 {
+				problems = append(problems, where(fmt.Sprintf("E without matching B on pid %d tid %d", ev.Pid, ev.Tid)))
+				continue
+			}
+			open[k]--
+		case "C", "M", "i", "I":
+			// counters, metadata and instants need no pairing
+		default:
+			problems = append(problems, where("unknown phase"))
+		}
+	}
+	var unbalanced []thread
+	for k, n := range open {
+		if n > 0 {
+			unbalanced = append(unbalanced, k)
+		}
+	}
+	sort.Slice(unbalanced, func(i, j int) bool {
+		if unbalanced[i].pid != unbalanced[j].pid {
+			return unbalanced[i].pid < unbalanced[j].pid
+		}
+		return unbalanced[i].tid < unbalanced[j].tid
+	})
+	for _, k := range unbalanced {
+		problems = append(problems, fmt.Sprintf("pid %d tid %d: %d unbalanced B events", k.pid, k.tid, open[k]))
+	}
+	return problems
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidObjectForm(t *testing.T) {
+	path := writeTrace(t, `{"displayTimeUnit":"ms","traceEvents":[
+		{"ph":"M","pid":1,"tid":0,"name":"process_name"},
+		{"ph":"X","pid":1,"tid":0,"name":"driver","ts":0,"dur":12.5},
+		{"ph":"C","pid":1,"tid":0,"name":"hits","ts":12.5}
+	]}`)
+	events, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := check(events); len(got) != 0 {
+		t.Fatalf("valid trace reported problems: %v", got)
+	}
+}
+
+func TestValidArrayForm(t *testing.T) {
+	path := writeTrace(t, `[
+		{"ph":"B","pid":1,"tid":2,"name":"phase","ts":0},
+		{"ph":"E","pid":1,"tid":2,"name":"phase","ts":5}
+	]`)
+	events, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := check(events); len(got) != 0 {
+		t.Fatalf("valid trace reported problems: %v", got)
+	}
+}
+
+func TestProblems(t *testing.T) {
+	for name, tc := range map[string]struct {
+		body string
+		want string
+	}{
+		"empty":        {`[]`, "no trace events"},
+		"missingTs":    {`[{"ph":"X","name":"a","dur":1}]`, "without ts"},
+		"missingDur":   {`[{"ph":"X","name":"a","ts":1}]`, "without dur"},
+		"negativeDur":  {`[{"ph":"X","name":"a","ts":1,"dur":-2}]`, "negative dur"},
+		"unknownPhase": {`[{"ph":"Q","name":"a"}]`, "unknown phase"},
+		"strayEnd":     {`[{"ph":"E","pid":1,"tid":3,"name":"a"}]`, "E without matching B"},
+		"unbalancedB":  {`[{"ph":"B","pid":1,"tid":3,"name":"a"}]`, "unbalanced B"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			events, err := load(writeTrace(t, tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := check(events)
+			if len(got) == 0 {
+				t.Fatalf("expected a problem containing %q, got none", tc.want)
+			}
+			if !strings.Contains(strings.Join(got, "\n"), tc.want) {
+				t.Fatalf("problems %v do not mention %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNotJSON(t *testing.T) {
+	if _, err := load(writeTrace(t, "{not json")); err == nil {
+		t.Fatal("expected a load error for malformed JSON")
+	}
+}

@@ -16,6 +16,8 @@
 //   - zerorng: no composite-literal construction of rng.Rand, whose zero
 //     value is documented as unusable
 //   - errdiscard: no silently discarded error returns outside tests
+//   - wallclock: no time.Now/time.Since outside internal/obs (the
+//     observability layer owns the injectable Clock); test files exempt
 //
 // Findings can be suppressed with a justified comment on the offending
 // line or the line above:
@@ -52,6 +54,7 @@ func All() []*Analyzer {
 		FloatEq,
 		ZeroRNG,
 		ErrDiscard,
+		WallClock,
 	}
 }
 

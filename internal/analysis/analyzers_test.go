@@ -54,6 +54,32 @@ func TestZeroRNGSelfExempt(t *testing.T) {
 	}
 }
 
+func TestWallClockFixture(t *testing.T) {
+	checkGolden(t, "wallclock", runFixture(t, "repro/internal/report/wallclockfix", WallClock))
+}
+
+// TestWallClockObsExempt: the obs subtree implements the Clock abstraction
+// and is the one place allowed to read the wall clock.
+func TestWallClockObsExempt(t *testing.T) {
+	if got := runFixture(t, "repro/internal/obs/clockok", WallClock); len(got) != 0 {
+		t.Fatalf("unexpected findings inside the obs subtree: %v", got)
+	}
+}
+
+// TestWallClockSelfExempt: the real internal/obs package reads time.Now by
+// design.
+func TestWallClockSelfExempt(t *testing.T) {
+	r := NewRunner("../..")
+	r.Analyzers = []*Analyzer{WallClock}
+	findings, err := r.Run([]Target{{Dir: "../obs", Path: "repro/internal/obs"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("wallclock must not fire inside package obs: %v", findings)
+	}
+}
+
 func TestErrDiscardFixture(t *testing.T) {
 	checkGolden(t, "errdiscard", runFixture(t, "repro/internal/report/errdiscardfix", ErrDiscard))
 }

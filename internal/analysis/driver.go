@@ -101,7 +101,11 @@ func (r *Runner) runTarget(t Target) ([]Finding, error) {
 			}
 			a.Run(pass)
 		}
-		dirs := parseDirectives(r.fset, u.files, knownAnalyzers(r.Analyzers))
+		// Directives are validated against the full suite, not just the
+		// analyzers this run enabled: a file legitimately suppressing
+		// analyzer A must not read as "unknown analyzer" to a run that only
+		// enabled analyzer B.
+		dirs := parseDirectives(r.fset, u.files, knownAnalyzers(All()))
 		out = append(out, applySuppressions(raw, dirs)...)
 	}
 	return out, nil

@@ -1,0 +1,12 @@
+// Package clockok is the wallclock negative fixture: it lives under the
+// repro/internal/obs pseudo path, the one subtree allowed to read the wall
+// clock directly (it implements the Clock every other package injects).
+package clockok
+
+import "time"
+
+// Now reads the wall clock; fine inside the obs subtree.
+func Now() time.Time { return time.Now() }
+
+// Since measures an interval; equally fine here.
+func Since(t time.Time) time.Duration { return time.Since(t) }

@@ -5,5 +5,10 @@ package timeok
 
 import "time"
 
-// Stamp returns the current time; fine outside the simulation packages.
-func Stamp() time.Time { return time.Now() }
+// Stamp returns the current time; fine outside the simulation packages as
+// far as nondeterminism is concerned (the wallclock suppression answers
+// the newer, module-wide clock-confinement rule).
+func Stamp() time.Time {
+	//charnet:ignore wallclock fixture exists to prove nondeterminism ignores unrestricted paths
+	return time.Now()
+}

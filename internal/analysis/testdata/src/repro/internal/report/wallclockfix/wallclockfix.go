@@ -1,0 +1,23 @@
+// Package wallclockfix is the wallclock fixture: wall-clock reads at an
+// unrestricted pseudo path (fine for nondeterminism) that must still be
+// flagged because they bypass the obs.Clock abstraction.
+package wallclockfix
+
+import "time"
+
+// Elapsed reads the wall clock twice; both reads must be reported.
+func Elapsed() time.Duration {
+	start := time.Now() // want: wallclock
+	return time.Since(start)
+}
+
+// Stamped is a suppressed read: the justified directive keeps it quiet.
+func Stamped() time.Time {
+	//charnet:ignore wallclock fixture exercises a justified suppression
+	return time.Now()
+}
+
+// Parse does not read the clock; other time functions stay allowed.
+func Parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockExemptPrefixes lists the import paths (and their subtrees) that
+// may read the wall clock directly. internal/obs is the observability
+// layer: it owns the Clock abstraction every other package must go
+// through, so it is necessarily the one place time.Now is called.
+var wallclockExemptPrefixes = []string{
+	"repro/internal/obs",
+}
+
+// WallClock confines direct wall-clock reads to internal/obs. Where
+// nondeterminism bans time.Now inside the simulation packages because it
+// would corrupt results, wallclock extends the rule to the whole module
+// for a different reason: timing the pipeline is observability, and
+// observability must flow through obs.Clock so it stays injectable
+// (deterministic under test) and nil-disabled (free when off). Test files
+// are exempt; anything else needs a justified //charnet:ignore wallclock.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "confine time.Now/time.Since to internal/obs; pipeline timing must flow through obs.Clock",
+	Run:  runWallClock,
+}
+
+func wallclockExempt(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	for _, p := range wallclockExemptPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runWallClock(pass *Pass) {
+	if wallclockExempt(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := pass.pkgCall(call, "time", "Now", "Since"); ok {
+				pass.Reportf(call.Pos(), "time.%s outside internal/obs: read the clock through an obs.Trace (Now) or obs.Clock so timing stays injectable and nil-disabled", name)
+			}
+			return true
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/machine"
@@ -56,12 +57,18 @@ func MeasureSuite(ps []workload.Profile, m *machine.Config, opts sim.Options) []
 // returns the stored measurements, a miss measures and stores. A nil cache
 // degrades to plain measurement.
 func MeasureSuiteCached(cache MeasurementCache, ps []workload.Profile, m *machine.Config, opts sim.Options) []Measurement {
+	return MeasureSuiteCachedWorkers(cache, ps, m, opts, 0)
+}
+
+// MeasureSuiteCachedWorkers is MeasureSuiteCached with an explicit worker
+// count for the measurement pool (0 = GOMAXPROCS).
+func MeasureSuiteCachedWorkers(cache MeasurementCache, ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
 	if cache != nil {
 		if ms, ok := cache.Get(ps, m, opts); ok {
 			return ms
 		}
 	}
-	ms := MeasureSuiteWorkers(ps, m, opts, 0)
+	ms := MeasureSuiteWorkers(ps, m, opts, workers)
 	if cache != nil {
 		cache.Put(ps, m, opts, ms)
 	}
@@ -71,6 +78,11 @@ func MeasureSuiteCached(cache MeasurementCache, ps []workload.Profile, m *machin
 // MeasureSuiteWorkers is MeasureSuite with an explicit worker count
 // (0 = GOMAXPROCS). The result is identical for any worker count: each
 // workload simulation is fully independent and lands in its input slot.
+//
+// When opts.Obs carries a suite-measurement span, every workload gets a
+// "sim" child span on its worker's lane and the pool reports utilization
+// (summed busy time over workers x wall time) as the "pool.utilization"
+// gauge. None of this instrumentation affects the measurements.
 func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
 	out := make([]Measurement, len(ps))
 	if workers <= 0 {
@@ -82,34 +94,57 @@ func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Opti
 	if workers < 1 {
 		workers = 1
 	}
+	suite := opts.Obs
+	tr := suite.Trace()
+	poolStart := tr.Now() // zero (and unused) when tracing is disabled
+	var busy atomic.Int64
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range jobs {
 				p := ps[i]
-				res, err := sim.Run(p, m, opts)
-				if err != nil {
-					out[i] = Measurement{Workload: p, Err: err}
-					continue
+				o := opts
+				wspan := suite.ChildLane(lane, "sim", p.Name)
+				o.Obs = wspan
+				out[i] = measureOne(p, m, o)
+				wspan.End()
+				if tr != nil {
+					busy.Add(int64(wspan.Duration()))
 				}
-				v, err := perf.Normalize(res)
-				if err != nil {
-					out[i] = Measurement{Workload: p, Err: err}
-					continue
-				}
-				out[i] = Measurement{Workload: p, Vector: v, Result: res}
 			}
-		}()
+		}(w + 1)
 	}
 	for i := range ps {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
+	if tr != nil {
+		tr.Gauge("pool.workers", float64(workers))
+		if elapsed := tr.Now().Sub(poolStart); elapsed > 0 {
+			tr.Gauge("pool.utilization", float64(busy.Load())/(float64(workers)*float64(elapsed)))
+		}
+	}
 	return out
+}
+
+// measureOne runs one workload and derives its metric vector, reporting
+// the derivation as a child span of the per-workload span in opts.Obs.
+func measureOne(p workload.Profile, m *machine.Config, opts sim.Options) Measurement {
+	res, err := sim.Run(p, m, opts)
+	if err != nil {
+		return Measurement{Workload: p, Err: err}
+	}
+	dspan := opts.Obs.Child("derive", "")
+	v, err := perf.Normalize(res)
+	dspan.End()
+	if err != nil {
+		return Measurement{Workload: p, Err: err}
+	}
+	return Measurement{Workload: p, Vector: v, Result: res}
 }
 
 // Vectors extracts the metric vectors of successful measurements along

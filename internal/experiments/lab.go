@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -31,6 +32,9 @@ type Config struct {
 	CoreSweep []int
 	// SampleInterval (cycles) for the Fig 13 correlation runs.
 	SampleInterval float64
+	// Workers bounds the measurement worker pool (0 = GOMAXPROCS). Purely
+	// a scheduling knob: results are identical for any value.
+	Workers int
 }
 
 // Quick returns a low-fidelity configuration for tests.
@@ -63,6 +67,11 @@ type Lab struct {
 	// map below still fronts it within a process.
 	Store core.MeasurementCache
 
+	// Obs, when set, traces suite measurements (one "measure <key>" span
+	// each, per-workload sim spans beneath) and counts singleflight
+	// coalescing. Nil disables all instrumentation at ~zero cost.
+	Obs *obs.Trace
+
 	mu    sync.Mutex
 	cache map[string]*measureEntry
 }
@@ -83,15 +92,24 @@ func (l *Lab) measure(key string, ps []workload.Profile, m *machine.Config, opts
 	l.mu.Lock()
 	if e, ok := l.cache[key]; ok {
 		l.mu.Unlock()
-		// Wait out an in-flight measurement of the same key rather than
-		// duplicating the full-suite simulation.
-		<-e.done
+		select {
+		case <-e.done:
+			l.Obs.Add("lab.memcache.hits", 1)
+		default:
+			// A measurement of this key is in flight: wait it out rather
+			// than duplicating the full-suite simulation.
+			l.Obs.Add("lab.singleflight.coalesced", 1)
+			<-e.done
+		}
 		return e.ms
 	}
 	e := &measureEntry{done: make(chan struct{})}
 	l.cache[key] = e
 	l.mu.Unlock()
-	e.ms = core.MeasureSuiteCached(l.Store, ps, m, opts)
+	span := l.Obs.Span("measure", key)
+	opts.Obs = span
+	e.ms = core.MeasureSuiteCachedWorkers(l.Store, ps, m, opts, l.Cfg.Workers)
+	span.End()
 	close(e.done)
 	return e.ms
 }

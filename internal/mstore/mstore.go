@@ -11,7 +11,11 @@
 // Layout: one JSON file per suite measurement, dir/<hex key>.json, written
 // atomically (temp file + rename) so concurrent processes sharing a store
 // directory never observe torn entries. Corrupt or unreadable entries are
-// treated as misses.
+// treated as misses, but no failure is silent: every degraded path counts
+// into the store's obs.Trace (mstore.corrupt, mstore.errors,
+// mstore.put_errors) and warns once per failure class on the log writer
+// (stderr by default), so a store that has quietly stopped caching is
+// visible instead of just slow.
 package mstore
 
 import (
@@ -20,12 +24,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -38,6 +46,18 @@ const FormatVersion = 1
 // Store is an on-disk core.MeasurementCache rooted at a directory.
 type Store struct {
 	dir string
+
+	// Obs, when set, counts store traffic: mstore.hits, mstore.misses,
+	// mstore.corrupt, mstore.errors, mstore.puts, mstore.put_errors.
+	// Nil-safe; assign before first use.
+	Obs *obs.Trace
+
+	// Log receives one warning line per failure class (corrupt entry, read
+	// error, write error). Defaults to os.Stderr; tests override it.
+	Log io.Writer
+
+	warnMu sync.Mutex
+	warned map[string]bool
 }
 
 var _ core.MeasurementCache = (*Store)(nil)
@@ -47,11 +67,32 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("mstore: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, Log: os.Stderr}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// warnOnce logs one line for the first failure of each class; repeats are
+// only counted. A cold store under a read-only disk would otherwise spam
+// one warning per suite.
+func (s *Store) warnOnce(class, format string, args ...any) {
+	s.warnMu.Lock()
+	defer s.warnMu.Unlock()
+	if s.warned == nil {
+		s.warned = make(map[string]bool)
+	}
+	if s.warned[class] {
+		return
+	}
+	s.warned[class] = true
+	w := s.Log
+	if w == nil {
+		w = os.Stderr
+	}
+	//charnet:ignore errdiscard diagnostics on the log writer are best-effort
+	fmt.Fprintf(w, "charnet: mstore: "+format+" (further %s warnings suppressed)\n", append(args, class)...)
+}
 
 // keyEnvelope is the canonical keyed-input serialization. Field order is
 // fixed by the struct definition and encoding/json is deterministic for
@@ -101,20 +142,31 @@ func (s *Store) path(key string) string {
 }
 
 // Get returns the stored measurements for the given inputs, or (nil,
-// false) on any miss — absent, unreadable or corrupt entries all simply
-// mean "measure".
+// false) on any miss. Absent, unreadable and corrupt entries all mean
+// "measure", but are counted apart: a plain absent file is an expected
+// miss, an IO error or a corrupt entry is a degraded store.
 func (s *Store) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) ([]core.Measurement, bool) {
 	key, err := Key(ps, m, opts)
 	if err != nil {
+		s.Obs.Add("mstore.errors", 1)
+		s.warnOnce("key", "cannot key measurement request: %v", err)
 		return nil, false
 	}
 	b, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		s.Obs.Add("mstore.misses", 1)
+		return nil, false
+	}
 	if err != nil {
+		s.Obs.Add("mstore.errors", 1)
+		s.warnOnce("read", "cannot read entry %s: %v", key, err)
 		return nil, false
 	}
 	var e entry
 	if json.Unmarshal(b, &e) != nil || e.Version != FormatVersion ||
 		e.Key != key || len(e.Measurements) != len(ps) {
+		s.Obs.Add("mstore.corrupt", 1)
+		s.warnOnce("corrupt", "corrupt entry %s: treating as miss", key)
 		return nil, false
 	}
 	ms := make([]core.Measurement, len(e.Measurements))
@@ -124,16 +176,27 @@ func (s *Store) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) 
 			ms[i].Err = errors.New(r.Err)
 		}
 	}
+	s.Obs.Add("mstore.hits", 1)
 	return ms, true
 }
 
 // Put stores the measurements under the key of their inputs, atomically.
-// Storage failures are silent: the store is a cache, and a failed write
-// only costs a future re-measurement.
+// A failed write only costs a future re-measurement, so Put returns
+// nothing — but failures are counted (mstore.put_errors) and warned once,
+// because a store that never lands a write is a disabled cache.
 func (s *Store) Put(ps []workload.Profile, m *machine.Config, opts sim.Options, ms []core.Measurement) {
+	if err := s.put(ps, m, opts, ms); err != nil {
+		s.Obs.Add("mstore.put_errors", 1)
+		s.warnOnce("write", "cannot store measurement: %v", err)
+		return
+	}
+	s.Obs.Add("mstore.puts", 1)
+}
+
+func (s *Store) put(ps []workload.Profile, m *machine.Config, opts sim.Options, ms []core.Measurement) error {
 	key, err := Key(ps, m, opts)
 	if err != nil {
-		return
+		return err
 	}
 	recs := make([]rec, len(ms))
 	for i, mm := range ms {
@@ -144,16 +207,24 @@ func (s *Store) Put(ps []workload.Profile, m *machine.Config, opts sim.Options, 
 	}
 	b, err := json.Marshal(entry{Version: FormatVersion, Key: key, Measurements: recs})
 	if err != nil {
-		return
+		return fmt.Errorf("marshal entry %s: %w", key, err)
 	}
 	tmp, err := os.CreateTemp(s.dir, "put-*")
 	if err != nil {
-		return
+		return fmt.Errorf("create temp for %s: %w", key, err)
 	}
 	_, werr := tmp.Write(b)
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil || os.Rename(tmp.Name(), s.path(key)) != nil {
-		//charnet:ignore errdiscard best-effort cleanup of a temp file that failed to land
-		os.Remove(tmp.Name())
+	if werr == nil && cerr == nil {
+		if rerr := os.Rename(tmp.Name(), s.path(key)); rerr == nil {
+			return nil
+		} else {
+			werr = rerr
+		}
+	} else if werr == nil {
+		werr = cerr
 	}
+	//charnet:ignore errdiscard best-effort cleanup of a temp file that failed to land
+	os.Remove(tmp.Name())
+	return fmt.Errorf("write entry %s: %w", key, werr)
 }

@@ -2,13 +2,16 @@ package mstore
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -147,5 +150,94 @@ func TestMeasureEquivalence(t *testing.T) {
 		if !bytes.Equal(render(ms), ref) {
 			t.Fatalf("%s: report bytes differ from serial run", name)
 		}
+	}
+}
+
+// TestObsCountersAndWarnings pins the error-surfacing contract: degraded
+// store paths count into the trace and warn exactly once per class.
+func TestObsCountersAndWarnings(t *testing.T) {
+	ps, m, opts := testInputs()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	tr := obs.New()
+	s.Obs, s.Log = tr, &log
+
+	if _, ok := s.Get(ps, m, opts); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if got := tr.Counter("mstore.misses"); got != 1 {
+		t.Fatalf("mstore.misses = %d, want 1", got)
+	}
+	if log.Len() != 0 {
+		t.Fatalf("a plain miss must not warn, got %q", log.String())
+	}
+
+	ms := core.MeasureSuite(ps, m, opts)
+	s.Put(ps, m, opts, ms)
+	if got := tr.Counter("mstore.puts"); got != 1 {
+		t.Fatalf("mstore.puts = %d, want 1", got)
+	}
+	if _, ok := s.Get(ps, m, opts); !ok {
+		t.Fatal("store missed just-stored measurements")
+	}
+	if got := tr.Counter("mstore.hits"); got != 1 {
+		t.Fatalf("mstore.hits = %d, want 1", got)
+	}
+
+	// Corrupt the entry: two reads must count twice but warn once.
+	key, _ := Key(ps, m, opts)
+	if err := os.WriteFile(filepath.Join(s.Dir(), key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(ps, m, opts); ok {
+			t.Fatal("corrupt entry should read as a miss")
+		}
+	}
+	if got := tr.Counter("mstore.corrupt"); got != 2 {
+		t.Fatalf("mstore.corrupt = %d, want 2", got)
+	}
+	if got := strings.Count(log.String(), "corrupt entry"); got != 1 {
+		t.Fatalf("corrupt warning emitted %d times, want once:\n%s", got, log.String())
+	}
+
+	// A store rooted at an unwritable path counts put errors and warns.
+	ro := t.TempDir()
+	if err := os.Chmod(ro, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(ro, 0o755) })
+	s2 := &Store{dir: ro, Obs: tr, Log: &log}
+	before := log.String()
+	s2.Put(ps, m, opts, ms)
+	s2.Put(ps, m, opts, ms)
+	if os.Getuid() == 0 {
+		t.Skip("running as root: read-only directory does not fail writes")
+	}
+	if got := tr.Counter("mstore.put_errors"); got != 2 {
+		t.Fatalf("mstore.put_errors = %d, want 2", got)
+	}
+	if got := strings.Count(log.String()[len(before):], "cannot store"); got != 1 {
+		t.Fatalf("write warning emitted %d times, want once", got)
+	}
+}
+
+// TestNilObsAndLogAreSafe verifies an un-instrumented store still works and
+// warns to stderr-by-default without panicking.
+func TestNilObsAndLogAreSafe(t *testing.T) {
+	ps, m, opts := testInputs()
+	s := &Store{dir: t.TempDir(), Log: io.Discard}
+	if _, ok := s.Get(ps, m, opts); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	key, _ := Key(ps, m, opts)
+	if err := os.WriteFile(filepath.Join(s.dir, key+".json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(ps, m, opts); ok {
+		t.Fatal("corrupt entry should read as a miss")
 	}
 }

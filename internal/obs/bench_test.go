@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkDisabledSpan is the no-op-path contract: a nil trace must cost
+// a few nanoseconds and zero allocations per full span lifecycle, so the
+// pipeline can stay instrumented unconditionally.
+func BenchmarkDisabledSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("driver", "x")
+		c := sp.Child("run", "")
+		c.End()
+		sp.End()
+		tr.Add("ctr", 1)
+	}
+}
+
+// BenchmarkEnabledSpan measures the live-path cost per span pair for
+// comparison (lock, clock read, append).
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(WithClock(newFakeClock(time.Nanosecond)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Span("driver", "x")
+		c := sp.Child("run", "")
+		c.End()
+		sp.End()
+		tr.Add("ctr", 1)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleTrace builds a small deterministic trace with the pipeline's real
+// span taxonomy.
+func sampleTrace() *Trace {
+	tr := New(WithClock(newFakeClock(time.Millisecond)))
+	d := tr.Span("driver", "table4")
+	s := tr.Span("measure", "dotnet-cats/CoreI9")
+	for i := 0; i < 3; i++ {
+		w := s.ChildLane(1+i%2, "sim", "Workload")
+		p := w.Child("prewarm", "")
+		p.End()
+		r := w.Child("run", "")
+		r.End()
+		w.End()
+	}
+	s.End()
+	d.End()
+	tr.Add("mstore.hits", 2)
+	tr.Add("mstore.misses", 1)
+	tr.Gauge("pool.utilization", 0.9)
+	return tr
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	tr := sampleTrace()
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var spans, counters int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X":
+			spans++
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Errorf("X event missing ts: %v", ev)
+			}
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Errorf("X event missing non-negative dur: %v", ev)
+			}
+			if name, _ := ev["name"].(string); name == "" {
+				t.Errorf("X event missing name: %v", ev)
+			}
+		case "C":
+			counters++
+		case "M":
+		default:
+			t.Errorf("unexpected phase %q: %v", ph, ev)
+		}
+	}
+	// 2 top spans + 3 sims x 3 spans each.
+	if spans != 11 {
+		t.Errorf("got %d X events, want 11", spans)
+	}
+	if counters != 2 {
+		t.Errorf("got %d C events, want 2", counters)
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	tr := sampleTrace()
+	var a, b strings.Builder
+	if err := tr.WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two exports of the same trace differ")
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	tr := sampleTrace()
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var spans, counters, gauges int
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var ev jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "span":
+			spans++
+			if ev.DurUS < 0 {
+				t.Errorf("negative span duration: %+v", ev)
+			}
+		case "counter":
+			counters++
+		case "gauge":
+			gauges++
+		default:
+			t.Errorf("unknown event type %q", ev.Type)
+		}
+	}
+	if spans != 11 || counters != 2 || gauges != 1 {
+		t.Fatalf("got %d spans, %d counters, %d gauges; want 11/2/1", spans, counters, gauges)
+	}
+}
+
+func TestSelfProfile(t *testing.T) {
+	tr := sampleTrace()
+	var b strings.Builder
+	if err := tr.WriteSelfProfile(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"self-profile (wall",
+		"driver table4",
+		"measure dotnet-cats/CoreI9",
+		"sim", "prewarm", "run",
+		"counters:",
+		"mstore.hits",
+		"gauges:",
+		"pool.utilization",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("self-profile missing %q:\n%s", want, got)
+		}
+	}
+	// The 3 sims must aggregate into one row with count 3.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "sim") && !strings.Contains(line, "driver") {
+			f := strings.Fields(line)
+			if f[len(f)-1] != "3" {
+				t.Errorf("sim row should aggregate 3 spans: %q", line)
+			}
+			break
+		}
+	}
+}

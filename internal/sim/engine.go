@@ -9,6 +9,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/topdown"
 	"repro/internal/workload"
@@ -56,6 +57,11 @@ type Options struct {
 	// Assist enables the speculative cross-stack hardware optimizations
 	// of §VIII (what-if extensions; see HWAssist).
 	Assist HWAssist
+	// Obs, when set, is the per-workload observability span this run
+	// reports into (prewarm/run child spans, instructions-simulated
+	// counter). It is not a simulation input: results are identical with
+	// or without it, and it is excluded from measurement-store keys.
+	Obs *obs.Span `json:"-"`
 }
 
 // DefaultInstructions is the per-core instruction budget when Options does
@@ -216,7 +222,11 @@ func Run(p workload.Profile, m *machine.Config, opts Options) (*Result, error) {
 		return nil, err
 	}
 	e := &engine{p: p, m: m, opts: opts}
-	if err := e.setup(); err != nil {
+	sp := opts.Obs
+	pspan := sp.Child("prewarm", "")
+	err := e.setup()
+	pspan.End()
+	if err != nil {
 		return nil, err
 	}
 
@@ -224,13 +234,20 @@ func Run(p workload.Profile, m *machine.Config, opts Options) (*Result, error) {
 	if perCore == 0 {
 		perCore = DefaultInstructions
 	}
+	rspan := sp.Child("run", "")
 	if !opts.DisableWarmup {
 		e.run(perCore / 4)
 		e.resetStats()
 	}
 	e.nextSample = e.opts.SampleInterval
 	e.run(perCore)
-	return e.finish()
+	rspan.End()
+	res, err := e.finish()
+	if err != nil {
+		return nil, err
+	}
+	sp.Trace().Add("sim.instructions", int64(res.Counters.Instructions))
+	return res, nil
 }
 
 func (e *engine) coreCount() int {

@@ -7,11 +7,17 @@
 # on an ancestor revision. Exits nonzero if any benchmark regressed more
 # than the tolerance (default 10%).
 #
+# Also records top-level pipeline phase wall-times: one `charnet
+# -profile-json` run of every figure lands phase:<name> entries in the
+# record, so a benchdiff regression localizes to a phase (looser
+# PHASE_TOL, since each phase is a single run).
+#
 # Environment knobs:
 #   BENCH      benchmark regexp        (default ".")
 #   BENCHTIME  go test -benchtime      (default "1s")
 #   COUNT      go test -count          (default 3; min across runs is kept)
 #   BENCH_TOL  allowed slowdown        (default 0.10)
+#   PHASE_TOL  allowed phase slowdown  (default 0.35)
 #   BENCH_BASE explicit baseline file  (default: newest BENCH_<rev>.json of
 #              an ancestor commit)
 set -euo pipefail
@@ -23,10 +29,15 @@ if ! git diff --quiet HEAD 2>/dev/null; then
 fi
 out="BENCH_${rev}.json"
 
+echo "== charnet phase profile (rev ${rev})"
+phases=$(mktemp)
+trap 'rm -f "$phases"' EXIT
+go run ./cmd/charnet -profile-json "$phases" all > /dev/null 2> /dev/null
+
 echo "== go test -bench (rev ${rev})"
 go test -run=NONE -bench="${BENCH:-.}" -benchtime="${BENCHTIME:-1s}" \
     -count="${COUNT:-3}" ./... |
-    go run ./cmd/benchdiff record -rev "$rev" -out "$out"
+    go run ./cmd/benchdiff record -rev "$rev" -phases "$phases" -out "$out"
 echo "recorded $out"
 
 # Baseline: newest BENCH_<rev>.json whose rev is an ancestor commit (not
@@ -46,4 +57,4 @@ if [[ -z "$base" ]]; then
 fi
 
 echo "== benchdiff compare"
-go run ./cmd/benchdiff compare -tol "${BENCH_TOL:-0.10}" "$base" "$out"
+go run ./cmd/benchdiff compare -tol "${BENCH_TOL:-0.10}" -phase-tol "${PHASE_TOL:-0.35}" "$base" "$out"

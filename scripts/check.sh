@@ -7,6 +7,9 @@
 #   charnet-vet  the repo's determinism-and-correctness lint suite
 #                (docs/ANALYSIS.md)
 #   go test      all packages, race detector on
+#   trace smoke  charnet -trace-out on a real driver, validated by
+#                cmd/tracecheck, with stdout checked byte-identical to an
+#                untraced run (the observability determinism contract)
 #
 # Tier-1 (go build + go test) is the floor; this script is the gate every
 # PR should pass.
@@ -32,5 +35,19 @@ go test -race ./...
 
 echo "== bench smoke (compile + one iteration)"
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
+
+echo "== trace smoke (charnet -trace-out + tracecheck + stdout equivalence)"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/charnet -trace-out "$tracedir/trace.json" table4 > "$tracedir/traced.txt" 2> "$tracedir/profile.txt"
+go run ./cmd/charnet table4 > "$tracedir/plain.txt"
+if ! cmp -s "$tracedir/traced.txt" "$tracedir/plain.txt"; then
+    echo "tracing changed experiment stdout:" >&2
+    diff "$tracedir/plain.txt" "$tracedir/traced.txt" >&2 || true
+    exit 1
+fi
+go run ./cmd/tracecheck "$tracedir/trace.json"
+grep -q "self-profile" "$tracedir/profile.txt" || {
+    echo "missing self-profile on stderr" >&2; exit 1; }
 
 echo "ok: all checks passed"
