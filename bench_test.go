@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cluster"
@@ -30,11 +31,11 @@ func benchCfg() experiments.Config {
 	return cfg
 }
 
-func benchFigure[T any](b *testing.B, f func(*experiments.Lab) (T, error)) {
+func benchFigure[T any](b *testing.B, f func(context.Context, *experiments.Lab) (T, error)) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		lab := experiments.NewLab(benchCfg())
-		if _, err := f(lab); err != nil {
+		if _, err := f(context.Background(), lab); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +58,7 @@ func BenchmarkTableIVWarmCache(b *testing.B) {
 	}
 	warm := experiments.NewLab(benchCfg())
 	warm.Store = store
-	if _, err := experiments.TableIV(warm); err != nil {
+	if _, err := experiments.TableIV(context.Background(), warm); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -65,7 +66,7 @@ func BenchmarkTableIVWarmCache(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		lab := experiments.NewLab(benchCfg())
 		lab.Store = store
-		if _, err := experiments.TableIV(lab); err != nil {
+		if _, err := experiments.TableIV(context.Background(), lab); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -81,8 +82,10 @@ func BenchmarkFigure8(b *testing.B)  { benchFigure(b, experiments.Figure8) }
 func BenchmarkFigure9(b *testing.B)  { benchFigure(b, experiments.Figure9) }
 func BenchmarkFigure10(b *testing.B) { benchFigure(b, experiments.Figure10) }
 
-// BenchmarkFigure11 also covers Figure 12 (both come from one sweep).
+// Figures 11 and 12 render different artifacts from the same core-count
+// sweep; each benchmark uses a fresh lab, so both pay the full sweep.
 func BenchmarkFigure11(b *testing.B) { benchFigure(b, experiments.Figure11) }
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, experiments.Figure12) }
 func BenchmarkFigure13(b *testing.B) { benchFigure(b, experiments.Figure13) }
 func BenchmarkFigure14(b *testing.B) { benchFigure(b, experiments.Figure14) }
 

@@ -1,12 +1,24 @@
 // Command charnet reproduces the tables and figures of "Performance
 // Characterization of .NET Benchmarks" (ISPASS 2021) from the simulated
-// substrate and prints them as text.
+// substrate and renders them as text, JSON or CSV.
 //
 // Usage:
 //
-//	charnet [-full] [-cache DIR] [-workers N] [-trace-out FILE]
-//	        [-events-out FILE] [-profile-json FILE] [-progress]
-//	        [-pprof ADDR] <command>
+//	charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv]
+//	        [-trace-out FILE] [-events-out FILE] [-profile-json FILE]
+//	        [-progress] [-pprof ADDR] <command>
+//
+// Output format:
+//
+//	-format text       the paper's figures as monospace plots (default)
+//	-format json       typed artifacts: one JSON array of {name, title,
+//	                   paper, payloads:[{kind, data}]} objects
+//	-format csv        one tidy long-format table covering every payload
+//
+// Every experiment command (and `all`) honors -format; the structured
+// formats also include hidden machine-readable twins of prose-only data.
+// Utility commands (metrics, machines, suites, run, trace, export) are
+// text-only.
 //
 // Observability flags (all output goes to stderr or files; experiment
 // stdout is byte-identical with or without them):
@@ -23,37 +35,14 @@
 // Any of these (except -workers) also prints the end-of-run text
 // self-profile tree on stderr.
 //
-// Commands:
-//
-//	metrics    print the Table I metric catalog
-//	machines   print the Table II machine models
-//	suites     print suite sizes and the Table IV subsets
-//	run NAME   run one workload on the i9 and print its metrics
-//	table3     Table III  (PCA loading factors)
-//	table4     Table IV   (representative subsets, derived)
-//	fig1       Fig 1      (dendrogram of .NET categories)
-//	fig2       Fig 2      (subset validation)
-//	fig3       Fig 3      (kernel instruction share)
-//	fig4       Fig 4      (instruction mix)
-//	fig5       Fig 5      (.NET vs SPEC PCA scatter)
-//	fig6       Fig 6      (ASP.NET vs SPEC PCA scatter)
-//	fig7       Fig 7      (x86-64 vs AArch64)
-//	fig8       Fig 8      (counter geomeans)
-//	fig9       Fig 9      (basic Top-Down)
-//	fig10      Fig 10     (frontend/backend breakdown)
-//	fig11      Figs 11+12 (core-count scaling)
-//	fig13      Fig 13     (JIT/GC correlation study)
-//	fig14      Fig 14     (workstation vs server GC sweep)
-//	extensions what-if study of the paper's §VIII hardware proposals
-//	claims     execute the machine-checkable reproduction-claim catalog
-//	sensitivity check headline orderings across simulator configurations
-//	crossisa   extension: does an x86-derived subset transfer to Arm?
-//	export S F measure suite S (dotnet|aspnet|spec) and emit F (csv|json)
-//	trace NAME run NAME with 1ms-style sampling and emit the sample CSV
-//	all        everything above, in order
+// The experiment command list (table3, fig1, ... claims) is generated
+// from the driver registry in internal/experiments; run charnet with no
+// arguments to see it. Interrupting a run (SIGINT/SIGTERM) cancels the
+// in-flight measurement promptly and exits non-zero.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -61,8 +50,12 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"repro/charnet"
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -76,6 +69,7 @@ func main() {
 	full := flag.Bool("full", false, "full-fidelity runs (all workloads, more instructions)")
 	cacheDir := flag.String("cache", "", "persistent measurement store directory (reuses identical measurements across runs)")
 	workers := flag.Int("workers", 0, "measurement worker pool size (0 = GOMAXPROCS; results are identical for any value)")
+	format := flag.String("format", "text", "experiment output format: text, json or csv")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto-loadable)")
 	eventsOut := flag.String("events-out", "", "write the observability event log as JSONL")
 	profileJSON := flag.String("profile-json", "", "write top-level phase wall-times as JSON")
@@ -85,6 +79,12 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
+		os.Exit(2)
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "charnet: unknown format %q (want text|json|csv)\n", *format)
 		os.Exit(2)
 	}
 	cfg := experiments.Quick()
@@ -124,8 +124,11 @@ func main() {
 		lab.Store = store
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cmd := flag.Arg(0)
-	derr := dispatch(lab, cmd, flag.Args()[1:])
+	derr := dispatch(ctx, lab, cmd, flag.Args()[1:], *format, os.Stdout)
 	if err := writeObsOutputs(tr, *traceOut, *eventsOut, *profileJSON); err != nil {
 		fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
 		if derr == nil {
@@ -174,90 +177,113 @@ func writeObsOutputs(tr *obs.Trace, traceOut, eventsOut, profileJSON string) err
 	return tr.WriteSelfProfile(os.Stderr)
 }
 
+// usage is generated from the driver registry: a driver registered in
+// internal/experiments appears here without any cmd/charnet change.
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-progress] [-pprof ADDR] <metrics|machines|suites|run NAME|table3|table4|fig1..fig14|all>")
-}
-
-type figure func(*experiments.Lab) (fmt.Stringer, error)
-
-// figures maps command names to drivers, in paper order.
-var figures = []struct {
-	name string
-	run  figure
-}{
-	{"table3", wrap(experiments.TableIII)},
-	{"table4", wrap(experiments.TableIV)},
-	{"fig1", wrap(experiments.Figure1)},
-	{"fig2", wrap(experiments.Figure2)},
-	{"fig3", wrap(experiments.Figure3)},
-	{"fig4", wrap(experiments.Figure4)},
-	{"fig5", wrap(experiments.Figure5)},
-	{"fig6", wrap(experiments.Figure6)},
-	{"fig7", wrap(experiments.Figure7)},
-	{"fig8", wrap(experiments.Figure8)},
-	{"fig9", wrap(experiments.Figure9)},
-	{"fig10", wrap(experiments.Figure10)},
-	{"fig11", wrap(experiments.Figure11)},
-	{"fig12", wrap(experiments.Figure11)}, // Fig 12 shares the Fig 11 sweep
-	{"fig13", wrap(experiments.Figure13)},
-	{"fig14", wrap(experiments.Figure14)},
-	{"extensions", wrap(experiments.Extensions)},
-	{"claims", wrap(experiments.RunClaims)},
-	{"sensitivity", wrap(experiments.Sensitivity)},
-	{"crossisa", wrap(experiments.CrossISA)},
-}
-
-// wrap adapts a typed driver to the generic figure signature.
-func wrap[T fmt.Stringer](f func(*experiments.Lab) (T, error)) figure {
-	return func(l *experiments.Lab) (fmt.Stringer, error) {
-		return f(l)
+	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv] [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-progress] [-pprof ADDR] <command>")
+	fmt.Fprintln(os.Stderr, "\nutility commands (text-only):")
+	fmt.Fprintln(os.Stderr, "  metrics     print the Table I metric catalog")
+	fmt.Fprintln(os.Stderr, "  machines    print the Table II machine models")
+	fmt.Fprintln(os.Stderr, "  suites      print suite sizes and the Table IV subsets")
+	fmt.Fprintln(os.Stderr, "  run NAME    run one workload on the i9 and print its metrics")
+	fmt.Fprintln(os.Stderr, "  trace NAME  run NAME with sampling and emit the sample CSV")
+	fmt.Fprintln(os.Stderr, "  export S F  measure suite S (dotnet|aspnet|spec) and emit F (csv|json)")
+	fmt.Fprintln(os.Stderr, "\nexperiment commands (honor -format):")
+	for _, d := range experiments.Drivers() {
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", d.Name, d.Title)
 	}
+	fmt.Fprintln(os.Stderr, "  all         every experiment above, in order")
 }
 
-func dispatch(lab *experiments.Lab, cmd string, args []string) error {
+// dispatch routes one command. Experiment commands resolve through the
+// driver registry; `all` runs the registry in order. In text format the
+// drivers' renderings stream to out as they finish; in json/csv the
+// artifacts are collected and written once at the end.
+func dispatch(ctx context.Context, lab *experiments.Lab, cmd string, args []string, format string, out io.Writer) error {
 	switch cmd {
 	case "metrics":
-		return inDriverSpan(lab, cmd, printMetrics)
+		return inDriverSpan(lab, cmd, func() error { return printMetrics(out) })
 	case "machines":
-		return inDriverSpan(lab, cmd, printMachines)
+		return inDriverSpan(lab, cmd, func() error { return printMachines(out) })
 	case "suites":
-		return inDriverSpan(lab, cmd, printSuites)
+		return inDriverSpan(lab, cmd, func() error { return printSuites(out) })
 	case "run":
 		if len(args) < 1 {
 			return fmt.Errorf("run requires a workload name")
 		}
-		return inDriverSpan(lab, cmd, func() error { return runOne(lab, args[0]) })
+		return inDriverSpan(lab, cmd, func() error { return runOne(lab, args[0], out) })
 	case "trace":
 		if len(args) < 1 {
 			return fmt.Errorf("trace requires a workload name")
 		}
-		return inDriverSpan(lab, cmd, func() error { return traceOne(lab, args[0]) })
+		return inDriverSpan(lab, cmd, func() error { return traceOne(lab, args[0], out) })
 	case "export":
 		if len(args) < 1 {
 			return fmt.Errorf("export requires a suite: dotnet|aspnet|spec")
 		}
-		format := "csv"
+		f := "csv"
 		if len(args) > 1 {
-			format = args[1]
+			f = args[1]
 		}
-		return inDriverSpan(lab, cmd, func() error { return exportSuite(lab, args[0], format) })
+		return inDriverSpan(lab, cmd, func() error { return exportSuite(lab, args[0], f, out) })
 	case "all":
-		for _, f := range figures {
-			if f.name == "fig12" {
-				continue // included in fig11 output
+		var arts []*artifact.Artifact
+		for _, d := range experiments.Drivers() {
+			if format == "text" && d.SkipInTextAll {
+				continue
 			}
-			if err := printFigure(lab, f.name, f.run); err != nil {
-				return fmt.Errorf("%s: %w", f.name, err)
+			a, err := runDriver(ctx, lab, d)
+			if err != nil {
+				return fmt.Errorf("%s: %w", d.Name, err)
+			}
+			if format == "text" {
+				if _, err := fmt.Fprintln(out, artifact.Text(a)); err != nil {
+					return err
+				}
+			} else {
+				arts = append(arts, a)
 			}
 		}
+		return writeArtifacts(out, format, arts)
+	}
+	d, ok := experiments.DriverByName(cmd)
+	if !ok {
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	a, err := runDriver(ctx, lab, d)
+	if err != nil {
+		return err
+	}
+	if format == "text" {
+		_, err := fmt.Fprintln(out, artifact.Text(a))
+		return err
+	}
+	return writeArtifacts(out, format, []*artifact.Artifact{a})
+}
+
+// runDriver executes one registered driver under its trace span.
+func runDriver(ctx context.Context, lab *experiments.Lab, d experiments.Driver) (*artifact.Artifact, error) {
+	span := lab.Obs.Span("driver", d.Name)
+	res, err := d.Run(ctx, lab)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	return res.Artifact(), nil
+}
+
+// writeArtifacts lands collected artifacts in the structured formats.
+// Text mode streams per driver instead and passes nil here.
+func writeArtifacts(out io.Writer, format string, arts []*artifact.Artifact) error {
+	switch format {
+	case "text":
 		return nil
+	case "json":
+		return artifact.WriteJSON(out, arts)
+	case "csv":
+		return artifact.WriteCSV(out, arts)
 	}
-	for _, f := range figures {
-		if f.name == cmd {
-			return printFigure(lab, f.name, f.run)
-		}
-	}
-	return fmt.Errorf("unknown command %q", cmd)
+	return fmt.Errorf("unknown format %q", format)
 }
 
 // inDriverSpan runs one command under a top-level "driver" span, the root
@@ -268,30 +294,19 @@ func inDriverSpan(lab *experiments.Lab, name string, f func() error) error {
 	return f()
 }
 
-func printFigure(lab *experiments.Lab, name string, f figure) error {
-	span := lab.Obs.Span("driver", name)
-	res, err := f(lab)
-	span.End()
-	if err != nil {
-		return err
-	}
-	fmt.Println(res.String())
-	return nil
-}
-
-func printMetrics() error {
+func printMetrics(out io.Writer) error {
 	var rows [][]string
 	for _, id := range metrics.All() {
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", int(id)), id.Category(), id.Name(), id.Unit(),
 		})
 	}
-	fmt.Print(textplot.Table("Table I: characterization metrics",
+	_, err := io.WriteString(out, textplot.Table("Table I: characterization metrics",
 		[]string{"ID", "category", "metric", "unit"}, rows))
-	return nil
+	return err
 }
 
-func printMachines() error {
+func printMachines(out io.Writer) error {
 	var rows [][]string
 	for _, m := range machine.All() {
 		rows = append(rows, []string{
@@ -303,27 +318,29 @@ func printMachines() error {
 			m.OS,
 		})
 	}
-	fmt.Print(textplot.Table("Table II: hardware configurations",
+	_, err := io.WriteString(out, textplot.Table("Table II: hardware configurations",
 		[]string{"machine", "ISA", "CPU/vCPU", "freq", "L1d/L1i/L2/L3", "OS"}, rows))
-	return nil
+	return err
 }
 
-func printSuites() error {
-	fmt.Printf("suites:\n")
-	fmt.Printf("  .NET:    %d categories, %d individual microbenchmarks\n",
+func printSuites(out io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "suites:\n")
+	fmt.Fprintf(&b, "  .NET:    %d categories, %d individual microbenchmarks\n",
 		len(charnet.DotNetCategories()), len(charnet.DotNetWorkloads()))
-	fmt.Printf("  ASP.NET: %d benchmarks\n", len(charnet.AspNetWorkloads()))
-	fmt.Printf("  SPEC:    %d benchmarks\n", len(charnet.SpecWorkloads()))
-	fmt.Printf("paper Table IV subsets:\n")
-	fmt.Printf("  .NET:    %v\n", experiments.TableIVDotNetSubset)
-	fmt.Printf("  ASP.NET: %v\n", experiments.TableIVAspNetSubset)
-	fmt.Printf("  SPEC:    %v\n", experiments.TableIVSpecSubset)
-	return nil
+	fmt.Fprintf(&b, "  ASP.NET: %d benchmarks\n", len(charnet.AspNetWorkloads()))
+	fmt.Fprintf(&b, "  SPEC:    %d benchmarks\n", len(charnet.SpecWorkloads()))
+	fmt.Fprintf(&b, "paper Table IV subsets:\n")
+	fmt.Fprintf(&b, "  .NET:    %v\n", experiments.TableIVDotNetSubset)
+	fmt.Fprintf(&b, "  ASP.NET: %v\n", experiments.TableIVAspNetSubset)
+	fmt.Fprintf(&b, "  SPEC:    %v\n", experiments.TableIVSpecSubset)
+	_, err := io.WriteString(out, b.String())
+	return err
 }
 
 // traceOne runs a workload with periodic sampling and emits the sample
 // time series as CSV (the §VII-A correlation study's raw data).
-func traceOne(lab *experiments.Lab, name string) error {
+func traceOne(lab *experiments.Lab, name string, out io.Writer) error {
 	var p charnet.Profile
 	var ok bool
 	for _, suite := range [][]charnet.Profile{
@@ -344,11 +361,11 @@ func traceOne(lab *experiments.Lab, name string) error {
 	if err != nil {
 		return err
 	}
-	return report.WriteSamplesCSV(os.Stdout, report.FromSamples(res.Samples))
+	return report.WriteSamplesCSV(out, report.FromSamples(res.Samples))
 }
 
-// exportSuite measures a whole suite and streams records to stdout.
-func exportSuite(lab *experiments.Lab, suiteName, format string) error {
+// exportSuite measures a whole suite and streams records to out.
+func exportSuite(lab *experiments.Lab, suiteName, format string, out io.Writer) error {
 	var ps []charnet.Profile
 	switch suiteName {
 	case "dotnet":
@@ -364,15 +381,15 @@ func exportSuite(lab *experiments.Lab, suiteName, format string) error {
 	recs := report.FromMeasurements(ms)
 	switch format {
 	case "csv":
-		return report.WriteCSV(os.Stdout, recs)
+		return report.WriteCSV(out, recs)
 	case "json":
-		return report.WriteJSON(os.Stdout, recs)
+		return report.WriteJSON(out, recs)
 	default:
 		return fmt.Errorf("unknown format %q (want csv|json)", format)
 	}
 }
 
-func runOne(lab *experiments.Lab, name string) error {
+func runOne(lab *experiments.Lab, name string, out io.Writer) error {
 	var p charnet.Profile
 	var ok bool
 	for _, suite := range [][]charnet.Profile{
@@ -393,12 +410,14 @@ func runOne(lab *experiments.Lab, name string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s on %s (%d cores)\n", p.Name, res.Machine.Name, res.Cores)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%d cores)\n", p.Name, res.Machine.Name, res.Cores)
 	var rows [][]string
 	for _, id := range metrics.All() {
 		rows = append(rows, []string{id.Name(), fmt.Sprintf("%.4g", vec[id]), id.Unit()})
 	}
-	fmt.Print(textplot.Table("Table I metrics", []string{"metric", "value", "unit"}, rows))
-	fmt.Printf("Top-Down: %s\n", res.Profile)
-	return nil
+	b.WriteString(textplot.Table("Table I metrics", []string{"metric", "value", "unit"}, rows))
+	fmt.Fprintf(&b, "Top-Down: %s\n", res.Profile)
+	_, err = io.WriteString(out, b.String())
+	return err
 }

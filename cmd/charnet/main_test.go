@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -21,10 +23,14 @@ func tinyLab() *experiments.Lab {
 	return experiments.NewLab(cfg)
 }
 
+func run(lab *experiments.Lab, cmd string, args []string) error {
+	return dispatch(context.Background(), lab, cmd, args, "text", io.Discard)
+}
+
 func TestDispatchInfoCommands(t *testing.T) {
 	lab := tinyLab()
 	for _, cmd := range []string{"metrics", "machines", "suites"} {
-		if err := dispatch(lab, cmd, nil); err != nil {
+		if err := run(lab, cmd, nil); err != nil {
 			t.Fatalf("%s: %v", cmd, err)
 		}
 	}
@@ -32,42 +38,91 @@ func TestDispatchInfoCommands(t *testing.T) {
 
 func TestDispatchRun(t *testing.T) {
 	lab := tinyLab()
-	if err := dispatch(lab, "run", []string{"System.MathBenchmarks"}); err != nil {
+	if err := run(lab, "run", []string{"System.MathBenchmarks"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := dispatch(lab, "run", nil); err == nil {
+	if err := run(lab, "run", nil); err == nil {
 		t.Fatal("run without a name should fail")
 	}
-	if err := dispatch(lab, "run", []string{"NoSuchWorkload"}); err == nil {
+	if err := run(lab, "run", []string{"NoSuchWorkload"}); err == nil {
 		t.Fatal("unknown workload should fail")
 	}
 }
 
 func TestDispatchUnknown(t *testing.T) {
-	if err := dispatch(tinyLab(), "fig99", nil); err == nil {
+	if err := run(tinyLab(), "fig99", nil); err == nil {
 		t.Fatal("unknown command should fail")
 	}
 }
 
 func TestDispatchOneFigure(t *testing.T) {
 	// table3 exercises the measure→PCA path end to end through the CLI.
-	if err := dispatch(tinyLab(), "table3", nil); err != nil {
+	if err := run(tinyLab(), "table3", nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDispatchFormats renders one driver in every format and checks the
+// structured outputs parse.
+func TestDispatchFormats(t *testing.T) {
+	lab := tinyLab()
+
+	var text bytes.Buffer
+	if err := dispatch(context.Background(), lab, "fig3", nil, "text", &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "Fig 3") {
+		t.Errorf("text output missing figure header:\n%s", text.String())
+	}
+
+	var js bytes.Buffer
+	if err := dispatch(context.Background(), lab, "fig3", nil, "json", &js); err != nil {
+		t.Fatal(err)
+	}
+	var arts []struct {
+		Name     string           `json:"name"`
+		Payloads []map[string]any `json:"payloads"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &arts); err != nil {
+		t.Fatalf("-format json output is not valid JSON: %v", err)
+	}
+	if len(arts) != 1 || arts[0].Name != "fig3" || len(arts[0].Payloads) == 0 {
+		t.Errorf("unexpected JSON artifact shape: %+v", arts)
+	}
+
+	var csv bytes.Buffer
+	if err := dispatch(context.Background(), lab, "fig3", nil, "csv", &csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "artifact,payload,kind,row,column,unit,value") {
+		t.Errorf("unexpected CSV output:\n%s", csv.String())
+	}
+}
+
+// TestDispatchCancelled verifies an already-cancelled context aborts a
+// driver command with the context error.
+func TestDispatchCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := dispatch(ctx, tinyLab(), "fig3", nil, "text", io.Discard)
+	if err == nil {
+		t.Fatal("cancelled dispatch should fail")
 	}
 }
 
 func TestExportArgs(t *testing.T) {
 	lab := tinyLab()
-	if err := dispatch(lab, "export", nil); err == nil {
+	if err := run(lab, "export", nil); err == nil {
 		t.Fatal("export without suite should fail")
 	}
-	if err := dispatch(lab, "export", []string{"nope"}); err == nil {
+	if err := run(lab, "export", []string{"nope"}); err == nil {
 		t.Fatal("unknown suite should fail")
 	}
-	if err := dispatch(lab, "export", []string{"spec", "nope"}); err == nil {
+	if err := run(lab, "export", []string{"spec", "nope"}); err == nil {
 		t.Fatal("unknown format should fail")
 	}
-	if err := dispatch(lab, "export", []string{"spec", "json"}); err != nil {
+	if err := run(lab, "export", []string{"spec", "json"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,7 +135,7 @@ func TestTraceOutSchema(t *testing.T) {
 	lab := tinyLab()
 	tr := obs.New()
 	lab.Obs = tr
-	if err := dispatch(lab, "table3", nil); err != nil {
+	if err := run(lab, "table3", nil); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()

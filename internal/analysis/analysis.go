@@ -18,6 +18,9 @@
 //   - errdiscard: no silently discarded error returns outside tests
 //   - wallclock: no time.Now/time.Since outside internal/obs (the
 //     observability layer owns the injectable Clock); test files exempt
+//   - printbound: no fmt.Print*/os.Stdout/os.Stderr inside
+//     internal/experiments; drivers return typed artifacts and the CLI
+//     owns output routing; test files exempt
 //
 // Findings can be suppressed with a justified comment on the offending
 // line or the line above:
@@ -55,6 +58,7 @@ func All() []*Analyzer {
 		ZeroRNG,
 		ErrDiscard,
 		WallClock,
+		PrintBound,
 	}
 }
 

@@ -80,6 +80,32 @@ func TestWallClockSelfExempt(t *testing.T) {
 	}
 }
 
+func TestPrintBoundFixture(t *testing.T) {
+	checkGolden(t, "printbound", runFixture(t, "repro/internal/experiments/printboundfix", PrintBound))
+}
+
+// TestPrintBoundUnrestricted: printing outside internal/experiments is
+// not the analyzer's business (cmd/charnet owns the output stream).
+func TestPrintBoundUnrestricted(t *testing.T) {
+	if got := runFixture(t, "repro/internal/report/wallclockfix", PrintBound); len(got) != 0 {
+		t.Fatalf("unexpected findings outside internal/experiments: %v", got)
+	}
+}
+
+// TestPrintBoundExperiments: the real experiments package must be clean —
+// this is the refactor's invariant, enforced against the live code.
+func TestPrintBoundExperiments(t *testing.T) {
+	r := NewRunner("../..")
+	r.Analyzers = []*Analyzer{PrintBound}
+	findings, err := r.Run([]Target{{Dir: "../experiments", Path: "repro/internal/experiments"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("printbound fired inside the live experiments package: %v", findings)
+	}
+}
+
 func TestErrDiscardFixture(t *testing.T) {
 	checkGolden(t, "errdiscard", runFixture(t, "repro/internal/report/errdiscardfix", ErrDiscard))
 }

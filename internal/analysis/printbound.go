@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// printboundPrefixes lists the import paths (and their subtrees) where
+// drivers must stay output-free. internal/experiments produces typed
+// artifacts; rendering and stream selection belong to internal/artifact
+// and cmd/charnet.
+var printboundPrefixes = []string{
+	"repro/internal/experiments",
+}
+
+// PrintBound keeps the experiments layer free of direct terminal output.
+// A driver that printed would bypass the artifact model: its words would
+// appear in text mode but vanish from -format json/csv, and the CLI could
+// no longer choose the output stream. Anything a driver wants shown must
+// be a payload on its Artifact (a Note for prose). Test files are exempt;
+// anything else needs a justified //charnet:ignore printbound.
+var PrintBound = &Analyzer{
+	Name: "printbound",
+	Doc:  "forbid fmt.Print* and os.Stdout/os.Stderr inside internal/experiments; drivers emit artifacts, not output",
+	Run:  runPrintBound,
+}
+
+func printboundApplies(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	for _, p := range printboundPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runPrintBound(pass *Pass) {
+	if !printboundApplies(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := pass.pkgCall(v, "fmt", "Print", "Printf", "Println"); ok {
+					pass.Reportf(v.Pos(), "fmt.%s in internal/experiments: drivers must return artifacts, not print; put prose in an artifact.Note", name)
+				}
+			case *ast.SelectorExpr:
+				if path, ok := pass.pkgPathOf(v.X); ok && path == "os" {
+					if v.Sel.Name == "Stdout" || v.Sel.Name == "Stderr" {
+						pass.Reportf(v.Pos(), "os.%s in internal/experiments: drivers must not touch process streams; the CLI owns output routing", v.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,29 @@
+// Package printboundfix is the printbound fixture: direct terminal output
+// at an experiments pseudo path, which must be flagged because drivers
+// communicate through artifacts only.
+package printboundfix
+
+import (
+	"fmt"
+	"os"
+)
+
+// Announce prints directly; every emitting form must be reported.
+func Announce(msg string) {
+	fmt.Println(msg)              // want: printbound
+	fmt.Printf("note: %s\n", msg) // want: printbound
+	fmt.Print(msg)                // want: printbound
+	fmt.Fprintln(os.Stdout, msg)  // want: printbound (os.Stdout)
+	os.Stderr.WriteString(msg)    // want: printbound (os.Stderr)
+}
+
+// Render builds strings without emitting; Sprintf stays allowed.
+func Render(msg string) string {
+	return fmt.Sprintf("rendered: %s", msg)
+}
+
+// Legacy is a suppressed write: the justified directive keeps it quiet.
+func Legacy(msg string) {
+	//charnet:ignore printbound fixture exercises a justified suppression
+	fmt.Println(msg)
+}

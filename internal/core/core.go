@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -63,16 +64,32 @@ func MeasureSuiteCached(cache MeasurementCache, ps []workload.Profile, m *machin
 // MeasureSuiteCachedWorkers is MeasureSuiteCached with an explicit worker
 // count for the measurement pool (0 = GOMAXPROCS).
 func MeasureSuiteCachedWorkers(cache MeasurementCache, ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
+	//charnet:ignore errdiscard a background context cannot be cancelled, so the only error source is off
+	ms, _ := MeasureSuiteCtx(context.Background(), cache, ps, m, opts, workers)
+	return ms
+}
+
+// MeasureSuiteCtx is the full measurement seam: an optional cache, an
+// explicit worker count, and a context that aborts the suite. On a cache
+// hit the stored measurements return immediately; on a miss the suite is
+// measured and stored. A cancelled context returns ctx.Err() within one
+// workload's sim time — in-flight simulations finish, queued ones never
+// start — and nothing is written to the cache, so a cancelled measurement
+// can never land a torn entry.
+func MeasureSuiteCtx(ctx context.Context, cache MeasurementCache, ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) ([]Measurement, error) {
 	if cache != nil {
 		if ms, ok := cache.Get(ps, m, opts); ok {
-			return ms
+			return ms, nil
 		}
 	}
-	ms := MeasureSuiteWorkers(ps, m, opts, workers)
+	ms, err := measureSuiteWorkersCtx(ctx, ps, m, opts, workers)
+	if err != nil {
+		return nil, err
+	}
 	if cache != nil {
 		cache.Put(ps, m, opts, ms)
 	}
-	return ms
+	return ms, nil
 }
 
 // MeasureSuiteWorkers is MeasureSuite with an explicit worker count
@@ -84,6 +101,18 @@ func MeasureSuiteCachedWorkers(cache MeasurementCache, ps []workload.Profile, m 
 // (summed busy time over workers x wall time) as the "pool.utilization"
 // gauge. None of this instrumentation affects the measurements.
 func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
+	//charnet:ignore errdiscard a background context cannot be cancelled, so the only error source is off
+	ms, _ := measureSuiteWorkersCtx(context.Background(), ps, m, opts, workers)
+	return ms
+}
+
+// measureSuiteWorkersCtx runs the measurement worker pool under a
+// context. Cancellation is checked at the per-workload boundary: the
+// feeder stops handing out jobs and idle workers skip any job already in
+// hand, so the pool drains within one workload's sim time. A cancelled
+// run returns (nil, ctx.Err()) — partial results are discarded rather
+// than handed to callers that expect a complete suite.
+func measureSuiteWorkersCtx(ctx context.Context, ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) ([]Measurement, error) {
 	out := make([]Measurement, len(ps))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -97,6 +126,7 @@ func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Opti
 	suite := opts.Obs
 	tr := suite.Trace()
 	poolStart := tr.Now() // zero (and unused) when tracing is disabled
+	done := ctx.Done()
 	var busy atomic.Int64
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -105,6 +135,13 @@ func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Opti
 		go func(lane int) {
 			defer wg.Done()
 			for i := range jobs {
+				select {
+				case <-done:
+					// Cancelled with a job already handed over: drop it
+					// unsimulated so the pool drains promptly.
+					continue
+				default:
+				}
 				p := ps[i]
 				o := opts
 				wspan := suite.ChildLane(lane, "sim", p.Name)
@@ -117,8 +154,13 @@ func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Opti
 			}
 		}(w + 1)
 	}
+feed:
 	for i := range ps {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -128,7 +170,10 @@ func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Opti
 			tr.Gauge("pool.utilization", float64(busy.Load())/(float64(workers)*float64(elapsed)))
 		}
 	}
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // measureOne runs one workload and derives its metric vector, reporting

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/cluster"
@@ -186,5 +188,56 @@ func TestMeasureRepeatedPropagatesErrors(t *testing.T) {
 	_, err := MeasureRepeated(p, machine.CoreI9(), sim.Options{Instructions: 1000, MaxHeapBytes: 200 << 20}, 3)
 	if err == nil {
 		t.Fatal("OOM should propagate")
+	}
+}
+
+// fakeCache records Put calls for the cancellation tests.
+type fakeCache struct{ puts int }
+
+func (c *fakeCache) Get([]workload.Profile, *machine.Config, sim.Options) ([]Measurement, bool) {
+	return nil, false
+}
+
+func (c *fakeCache) Put(_ []workload.Profile, _ *machine.Config, _ sim.Options, _ []Measurement) {
+	c.puts++
+}
+
+// TestMeasureSuiteCtxPreCancelled: a context that is already cancelled
+// must yield no measurements, the context error, and no cache write.
+func TestMeasureSuiteCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cache := &fakeCache{}
+	ms, err := MeasureSuiteCtx(ctx, cache, workload.DotNetCategories()[:4],
+		machine.CoreI9(), sim.Options{Instructions: 2000}, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ms != nil {
+		t.Fatalf("cancelled suite returned %d measurements; partial results must be discarded", len(ms))
+	}
+	if cache.puts != 0 {
+		t.Fatalf("cancelled suite wrote %d cache entries; want 0", cache.puts)
+	}
+}
+
+// TestMeasureSuiteCtxBackground: the ctx path with a live context matches
+// the classic entry point exactly.
+func TestMeasureSuiteCtxBackground(t *testing.T) {
+	ps := workload.DotNetCategories()[:4]
+	m := machine.CoreI9()
+	opts := sim.Options{Instructions: 2000}
+	got, err := MeasureSuiteCtx(context.Background(), nil, ps, m, opts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MeasureSuite(ps, m, opts)
+	if len(got) != len(want) {
+		t.Fatalf("got %d measurements, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Vector != want[i].Vector {
+			t.Fatalf("%s: ctx and classic paths diverge", got[i].Workload.Name)
+		}
 	}
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/trace"
 )
 
@@ -14,7 +16,7 @@ type Claim struct {
 	ID        string
 	Artifact  string
 	Statement string
-	Check     func(l *Lab) (measured string, ok bool, err error)
+	Check     func(ctx context.Context, l *Lab) (measured string, ok bool, err error)
 }
 
 // Claims returns the full claim catalog, in paper order.
@@ -24,8 +26,8 @@ func Claims() []Claim {
 			ID:        "T3-variance",
 			Artifact:  "Table III",
 			Statement: "the top four principal components cover the bulk (~79%) of metric variance",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := TableIII(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := TableIII(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -36,8 +38,8 @@ func Claims() []Claim {
 			ID:        "F2-subsetA",
 			Artifact:  "Fig 2",
 			Statement: "an 8-category subset reproduces the full-suite composite score (paper: 98.7%)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure2(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure2(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -48,8 +50,8 @@ func Claims() []Claim {
 			ID:        "F2-optimum",
 			Artifact:  "Fig 2",
 			Statement: "the exhaustively optimized subset A(o) beats subset A (paper: 99.9%)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure2(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure2(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -61,8 +63,8 @@ func Claims() []Claim {
 			ID:        "F3-kernel",
 			Artifact:  "Fig 3",
 			Statement: "kernel-instruction share: ASP.NET >> .NET >> SPEC",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure3(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure3(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -75,8 +77,8 @@ func Claims() []Claim {
 			ID:        "F4-loads",
 			Artifact:  "Fig 4",
 			Statement: "SPEC has more loads than the managed suites (paper: 35.2% vs ~29%)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure4(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure4(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -88,8 +90,8 @@ func Claims() []Claim {
 			ID:        "F4-stores",
 			Artifact:  "Fig 4",
 			Statement: "SPEC has fewer stores than the managed suites (paper: 11.5% vs ~16%)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure4(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure4(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -101,8 +103,8 @@ func Claims() []Claim {
 			ID:        "F5-spread",
 			Artifact:  "Fig 5",
 			Statement: "SPEC spans a wider control-flow space than .NET (paper: 5.73x)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure5(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure5(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -113,8 +115,8 @@ func Claims() []Claim {
 			ID:        "F6-spread",
 			Artifact:  "Fig 6",
 			Statement: "SPEC spans a wider control-flow space than ASP.NET (paper: 4.73x)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure6(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure6(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -125,8 +127,8 @@ func Claims() []Claim {
 			ID:        "F7-itlb",
 			Artifact:  "Fig 7",
 			Statement: "the Arm software stack shows far worse I-TLB behavior for .NET (paper: ~80x)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure7(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure7(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -137,8 +139,8 @@ func Claims() []Claim {
 			ID:        "F7-llc",
 			Artifact:  "Fig 7",
 			Statement: "Arm shows worse LLC behavior for .NET (paper: ~8x)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure7(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure7(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -149,8 +151,8 @@ func Claims() []Claim {
 			ID:        "F8-iside",
 			Artifact:  "Fig 8",
 			Statement: "the instruction-memory interface performs far worse for managed suites (I-TLB, L1I)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure8(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure8(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -166,8 +168,8 @@ func Claims() []Claim {
 			ID:        "F8-llc-order",
 			Artifact:  "Fig 8",
 			Statement: "LLC MPKI ordering: .NET < ASP.NET < SPEC (paper: 0.01 / 0.16 / 0.98)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure8(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure8(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -180,8 +182,8 @@ func Claims() []Claim {
 			ID:        "F9-frontend",
 			Artifact:  "Fig 9",
 			Statement: "managed suites are significantly more frontend bound than SPEC",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure9(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure9(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -196,8 +198,8 @@ func Claims() []Claim {
 			ID:        "F9-badspec",
 			Artifact:  "Fig 9",
 			Statement: "neither .NET nor ASP.NET has a significant bad-speculation component",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure9(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure9(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -211,13 +213,13 @@ func Claims() []Claim {
 			ID:        "F12-l3bound",
 			Artifact:  "Fig 12",
 			Statement: "L3-bound stalls grow with core count while per-core LLC MPKI stays low",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure11(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure12(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
-				_, lo, _ := r.MeanAt(r.Sweep[0])
-				_, hi, llc := r.MeanAt(r.Sweep[len(r.Sweep)-1])
+				lo, _ := r.MeanAt(r.Sweep[0])
+				hi, llc := r.MeanAt(r.Sweep[len(r.Sweep)-1])
 				return fmt.Sprintf("L3-bound %.2f%% -> %.2f%%, LLC %.2f MPKI", lo, hi, llc),
 					hi > lo && llc < 8, nil
 			},
@@ -226,8 +228,8 @@ func Claims() []Claim {
 			ID:        "F13a-faults",
 			Artifact:  "Fig 13a",
 			Statement: "JIT events correlate positively with page faults (paper: 5-20% increase)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure13(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure13(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -239,8 +241,8 @@ func Claims() []Claim {
 			ID:        "F13b-llc",
 			Artifact:  "Fig 13b",
 			Statement: "GC events correlate negatively with LLC MPKI (paper: ~8% improvement)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure13(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure13(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -252,8 +254,8 @@ func Claims() []Claim {
 			ID:        "F13b-instr",
 			Artifact:  "Fig 13b",
 			Statement: "GC events correlate positively with instructions executed (collector overhead)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure13(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure13(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -265,8 +267,8 @@ func Claims() []Claim {
 			ID:        "F14-triggers",
 			Artifact:  "Fig 14",
 			Statement: "server GC triggers several times more often than workstation GC (paper: 6.18x)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure14(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure14(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -277,8 +279,8 @@ func Claims() []Claim {
 			ID:        "F14-llc",
 			Artifact:  "Fig 14",
 			Statement: "server GC reduces LLC MPKI (paper: 0.59x)",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure14(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure14(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -289,8 +291,8 @@ func Claims() []Claim {
 			ID:        "F14-failures",
 			Artifact:  "Fig 14 / §VII-B",
 			Statement: "some (workload, GC mode, 200MiB) configurations fail to start, as the paper reports",
-			Check: func(l *Lab) (string, bool, error) {
-				r, err := Figure14(l)
+			Check: func(ctx context.Context, l *Lab) (string, bool, error) {
+				r, err := Figure14(ctx, l)
 				if err != nil {
 					return "", false, err
 				}
@@ -324,11 +326,16 @@ type ClaimRow struct {
 	Err      error
 }
 
-// RunClaims executes every claim against the lab.
-func RunClaims(l *Lab) (*ClaimsResult, error) {
+// RunClaims executes every claim against the lab. A cancelled context
+// aborts the catalog: the first ctx.Err() from a check fails the whole run
+// rather than recording every remaining claim as an evaluation error.
+func RunClaims(ctx context.Context, l *Lab) (*ClaimsResult, error) {
 	out := &ClaimsResult{}
 	for _, c := range Claims() {
-		measured, ok, err := c.Check(l)
+		measured, ok, err := c.Check(ctx, l)
+		if err != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		out.Rows = append(out.Rows, ClaimRow{Claim: c, Measured: measured, OK: ok, Err: err})
 	}
 	return out, nil
@@ -345,10 +352,11 @@ func (r *ClaimsResult) Passed() int {
 	return n
 }
 
-// String renders the claim report.
-func (r *ClaimsResult) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Reproduction claims: %d/%d hold\n", r.Passed(), len(r.Rows))
+// Artifact renders the claim report: the prose verdict listing plus a
+// hidden table with one row per claim for structured consumers.
+func (r *ClaimsResult) Artifact() *artifact.Artifact {
+	lines := []string{fmt.Sprintf("Reproduction claims: %d/%d hold", r.Passed(), len(r.Rows))}
+	var rows [][]artifact.Value
 	for _, row := range r.Rows {
 		status := "PASS"
 		if row.Err != nil {
@@ -356,12 +364,34 @@ func (r *ClaimsResult) String() string {
 		} else if !row.OK {
 			status = "FAIL"
 		}
-		fmt.Fprintf(&b, "  [%s] %-12s %-11s %s\n", status, row.Claim.ID, row.Claim.Artifact, row.Claim.Statement)
+		lines = append(lines, fmt.Sprintf("  [%s] %-12s %-11s %s", status, row.Claim.ID, row.Claim.Artifact, row.Claim.Statement))
+		measured := row.Measured
 		if row.Err != nil {
-			fmt.Fprintf(&b, "         error: %v\n", row.Err)
+			measured = row.Err.Error()
+			lines = append(lines, fmt.Sprintf("         error: %v", row.Err))
 		} else {
-			fmt.Fprintf(&b, "         measured: %s\n", row.Measured)
+			lines = append(lines, fmt.Sprintf("         measured: %s", row.Measured))
 		}
+		rows = append(rows, []artifact.Value{
+			artifact.Str(row.Claim.ID), artifact.Str(row.Claim.Artifact),
+			artifact.Str(strings.TrimSpace(status)), artifact.Str(measured),
+			artifact.Str(row.Claim.Statement),
+		})
 	}
-	return b.String()
+	a := &artifact.Artifact{Name: "claims", Title: "Reproduction claims", Paper: "EXPERIMENTS.md verdicts"}
+	a.Add(
+		&artifact.Note{Name: "report", Lines: lines},
+		&artifact.Table{
+			Name:   "claims-data",
+			Hidden: true,
+			Columns: []artifact.Column{
+				{Name: "id"}, {Name: "artifact"}, {Name: "status"}, {Name: "measured"}, {Name: "statement"},
+			},
+			Rows: rows,
+		},
+	)
+	return a
 }
+
+// String renders the claim report.
+func (r *ClaimsResult) String() string { return artifact.Text(r.Artifact()) }

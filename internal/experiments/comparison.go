@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/stats"
-	"repro/internal/textplot"
 )
 
 // suiteBars is a labeled per-workload series for one metric across the
@@ -19,12 +19,23 @@ type suiteBars struct {
 }
 
 // subsetVectors returns Table IV subset measurements for all three suites.
-func (l *Lab) subsetVectors() (dn, asp, spec []core.Measurement) {
+func (l *Lab) subsetVectors(ctx context.Context) (dn, asp, spec []core.Measurement, err error) {
 	m := machine.CoreI9()
-	dn = subsetMeasurements(l.DotNetCategories(m), TableIVDotNetSubset)
-	asp = subsetMeasurements(l.AspNet(m), TableIVAspNetSubset)
-	spec = subsetMeasurements(l.Spec(m), TableIVSpecSubset)
-	return dn, asp, spec
+	cats, err := l.DotNetCategories(ctx, m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	aspAll, err := l.AspNet(ctx, m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	specAll, err := l.Spec(ctx, m)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return subsetMeasurements(cats, TableIVDotNetSubset),
+		subsetMeasurements(aspAll, TableIVAspNetSubset),
+		subsetMeasurements(specAll, TableIVSpecSubset), nil
 }
 
 // Figure3Result reproduces Fig 3: the kernel-instruction fraction of each
@@ -34,8 +45,11 @@ type Figure3Result struct {
 }
 
 // Figure3 collects kernel-instruction shares.
-func Figure3(l *Lab) (*Figure3Result, error) {
-	dn, asp, spec := l.subsetVectors()
+func Figure3(ctx context.Context, l *Lab) (*Figure3Result, error) {
+	dn, asp, spec, err := l.subsetVectors(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Figure3Result{}
 	fill := func(ms []core.Measurement, dst *suiteBars) {
 		for _, m := range ms {
@@ -60,17 +74,33 @@ func (r *Figure3Result) Means() (dn, asp, spec float64) {
 	return stats.Mean(r.DotNet.Values), stats.Mean(r.AspNet.Values), stats.Mean(r.Spec.Values)
 }
 
-// String renders Fig 3.
-func (r *Figure3Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 3: fraction of kernel instructions (%)\n")
-	b.WriteString(textplot.Bars(".NET", r.DotNet.Labels, r.DotNet.Values, 40))
-	b.WriteString(textplot.Bars("ASP.NET", r.AspNet.Labels, r.AspNet.Values, 40))
-	b.WriteString(textplot.Bars("SPEC CPU17", r.Spec.Labels, r.Spec.Values, 40))
+// Artifact renders Fig 3: a header, one bar series per suite, the means
+// line, and a hidden means table carrying the unrounded values.
+func (r *Figure3Result) Artifact() *artifact.Artifact {
 	dn, asp, spec := r.Means()
-	fmt.Fprintf(&b, "  means: ASP.NET %.1f%% > .NET %.1f%% > SPEC %.1f%%\n", asp, dn, spec)
-	return b.String()
+	a := &artifact.Artifact{Name: "fig3", Title: "Fig 3: fraction of kernel instructions", Paper: "Fig. 3"}
+	a.Add(
+		artifact.NoteLine("header", "Fig 3: fraction of kernel instructions (%)"),
+		artifact.Bars("dotnet", ".NET", "%", r.DotNet.Labels, r.DotNet.Values, 40),
+		artifact.Bars("aspnet", "ASP.NET", "%", r.AspNet.Labels, r.AspNet.Values, 40),
+		artifact.Bars("spec", "SPEC CPU17", "%", r.Spec.Labels, r.Spec.Values, 40),
+		artifact.NoteLine("means", fmt.Sprintf("  means: ASP.NET %.1f%% > .NET %.1f%% > SPEC %.1f%%", asp, dn, spec)),
+		&artifact.Table{
+			Name:    "means-data",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "suite"}, {Name: "mean_kernel_share", Unit: "%"}},
+			Rows: [][]artifact.Value{
+				{artifact.Str(".NET"), artifact.Number(dn)},
+				{artifact.Str("ASP.NET"), artifact.Number(asp)},
+				{artifact.Str("SPEC CPU17"), artifact.Number(spec)},
+			},
+		},
+	)
+	return a
 }
+
+// String renders Fig 3.
+func (r *Figure3Result) String() string { return artifact.Text(r.Artifact()) }
 
 // MixRow is one benchmark's instruction-type breakdown (Fig 4).
 type MixRow struct {
@@ -91,8 +121,11 @@ type Figure4Result struct {
 }
 
 // Figure4 collects instruction mixes.
-func Figure4(l *Lab) (*Figure4Result, error) {
-	dn, asp, spec := l.subsetVectors()
+func Figure4(ctx context.Context, l *Lab) (*Figure4Result, error) {
+	dn, asp, spec, err := l.subsetVectors(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Figure4Result{}
 	var specLoads, specStores, managedLoads, managedStores []float64
 	add := func(ms []core.Measurement, suite string) {
@@ -131,26 +164,48 @@ func Figure4(l *Lab) (*Figure4Result, error) {
 	return out, nil
 }
 
-// String renders Fig 4.
-func (r *Figure4Result) String() string {
-	rows := make([]string, 0, len(r.Rows))
-	segs := make([][]textplot.StackSegment, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, fmt.Sprintf("%-11s %s", row.Suite, row.Name))
-		segs = append(segs, []textplot.StackSegment{
-			{Name: "branch", Value: row.Branch},
-			{Name: "load", Value: row.Load},
-			{Name: "store", Value: row.Store},
-			{Name: "other", Value: row.Other},
-		})
+// Artifact renders Fig 4: the stacked mix series, the geomean callout
+// lines, and a hidden geomean table with the unrounded values.
+func (r *Figure4Result) Artifact() *artifact.Artifact {
+	labels := make([]string, len(r.Rows))
+	vals := make([][]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		labels[i] = fmt.Sprintf("%-11s %s", row.Suite, row.Name)
+		vals[i] = []float64{row.Branch, row.Load, row.Store, row.Other}
 	}
-	out := textplot.StackedBars("Fig 4: instruction-type percentages", rows, segs, 50)
-	out += fmt.Sprintf("  loads GM:  SPEC %.1f%% vs managed %.1f%% (paper: 35.2%% vs ~29%%)\n",
-		r.SpecLoadGM, r.ManagedLoadGM)
-	out += fmt.Sprintf("  stores GM: SPEC %.1f%% vs managed %.1f%% (paper: 11.5%% vs ~16%%)\n",
-		r.SpecStoreGM, r.ManagedStoreGM)
-	return out
+	a := &artifact.Artifact{Name: "fig4", Title: "Fig 4: instruction-type percentages", Paper: "Fig. 4"}
+	a.Add(
+		&artifact.Series{
+			Name:     "mix",
+			Title:    "Fig 4: instruction-type percentages",
+			Unit:     "%",
+			Labels:   labels,
+			Segments: []string{"branch", "load", "store", "other"},
+			Values:   vals,
+			Width:    50,
+			Stacked:  true,
+		},
+		&artifact.Note{Name: "geomeans", Lines: []string{
+			fmt.Sprintf("  loads GM:  SPEC %.1f%% vs managed %.1f%% (paper: 35.2%% vs ~29%%)",
+				r.SpecLoadGM, r.ManagedLoadGM),
+			fmt.Sprintf("  stores GM: SPEC %.1f%% vs managed %.1f%% (paper: 11.5%% vs ~16%%)",
+				r.SpecStoreGM, r.ManagedStoreGM),
+		}},
+		&artifact.Table{
+			Name:    "geomeans-data",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "group"}, {Name: "loads_gm", Unit: "%"}, {Name: "stores_gm", Unit: "%"}},
+			Rows: [][]artifact.Value{
+				{artifact.Str("SPEC CPU17"), artifact.Number(r.SpecLoadGM), artifact.Number(r.SpecStoreGM)},
+				{artifact.Str("managed"), artifact.Number(r.ManagedLoadGM), artifact.Number(r.ManagedStoreGM)},
+			},
+		},
+	)
+	return a
 }
+
+// String renders Fig 4.
+func (r *Figure4Result) String() string { return artifact.Text(r.Artifact()) }
 
 // ScatterCompareResult backs Figs 5 and 6: two suites plotted in shared
 // control-flow and memory PCA spaces, with the paper's spread ratios.
@@ -167,6 +222,10 @@ type ScatterCompareResult struct {
 	// control-flow 5.73x/4.73x and memory 1.71x/1.27x for Figs 5/6).
 	ControlSpreadPC1, ControlSpreadPC2 float64
 	MemorySpreadPC1, MemorySpreadPC2   float64
+
+	// artName and artPaper identify which figure this result backs in its
+	// artifact metadata; set by Figure5/Figure6.
+	artName, artPaper string
 }
 
 // scatterCompare builds a ScatterCompareResult from two measurement sets.
@@ -205,38 +264,80 @@ func scatterCompare(title, nameA, nameB string, a, b []core.Measurement) (*Scatt
 
 // Figure5 compares the .NET subset with the SPEC subset (paper: SPEC σ is
 // 5.73x in control flow, 1.71x in memory behavior).
-func Figure5(l *Lab) (*ScatterCompareResult, error) {
-	dn, _, spec := l.subsetVectors()
-	return scatterCompare("Fig 5: .NET vs SPEC CPU17", "SPEC CPU17", ".NET", spec, dn)
+func Figure5(ctx context.Context, l *Lab) (*ScatterCompareResult, error) {
+	dn, _, spec, err := l.subsetVectors(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scatterCompare("Fig 5: .NET vs SPEC CPU17", "SPEC CPU17", ".NET", spec, dn)
+	if err != nil {
+		return nil, err
+	}
+	r.artName, r.artPaper = "fig5", "Fig. 5"
+	return r, nil
 }
 
 // Figure6 compares the ASP.NET subset with the SPEC subset (paper: SPEC σ
 // is 4.73x in control flow, 1.27x in memory behavior).
-func Figure6(l *Lab) (*ScatterCompareResult, error) {
-	_, asp, spec := l.subsetVectors()
-	return scatterCompare("Fig 6: ASP.NET vs SPEC CPU17", "SPEC CPU17", "ASP.NET", spec, asp)
+func Figure6(ctx context.Context, l *Lab) (*ScatterCompareResult, error) {
+	_, asp, spec, err := l.subsetVectors(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := scatterCompare("Fig 6: ASP.NET vs SPEC CPU17", "SPEC CPU17", "ASP.NET", spec, asp)
+	if err != nil {
+		return nil, err
+	}
+	r.artName, r.artPaper = "fig6", "Fig. 6"
+	return r, nil
+}
+
+// Artifact renders the scatter comparison: a header, the two PCA scatter
+// plots with their spread-ratio lines, and a hidden ratio table.
+func (r *ScatterCompareResult) Artifact() *artifact.Artifact {
+	group := func(name, glyph string, pts [][]float64) artifact.ScatterGroup {
+		g := artifact.ScatterGroup{Name: name, Glyph: glyph, Points: make([][2]float64, len(pts))}
+		for i, p := range pts {
+			g.Points[i] = [2]float64{p[0], p[1]}
+		}
+		return g
+	}
+	a := &artifact.Artifact{Name: r.artName, Title: r.Title, Paper: r.artPaper}
+	a.Add(
+		artifact.NoteLine("header", fmt.Sprintf("%s  (glyph S = %s, glyph m = %s)", r.Title, r.NameA, r.NameB)),
+		&artifact.Scatter{
+			Name: "control-flow", Title: "  control-flow PCA", Rows: 14, Cols: 56,
+			Groups: []artifact.ScatterGroup{
+				group(r.NameA, "S", r.ControlA),
+				group(r.NameB, "m", r.ControlB),
+			},
+		},
+		artifact.NoteLine("control-flow-spread",
+			fmt.Sprintf("  control-flow spread ratio (PC1, PC2): %.2fx, %.2fx", r.ControlSpreadPC1, r.ControlSpreadPC2)),
+		&artifact.Scatter{
+			Name: "memory", Title: "  memory PCA", Rows: 14, Cols: 56,
+			Groups: []artifact.ScatterGroup{
+				group(r.NameA, "S", r.MemoryA),
+				group(r.NameB, "m", r.MemoryB),
+			},
+		},
+		artifact.NoteLine("memory-spread",
+			fmt.Sprintf("  memory spread ratio (PC1, PC2): %.2fx, %.2fx", r.MemorySpreadPC1, r.MemorySpreadPC2)),
+		&artifact.Table{
+			Name:    "spread-ratios",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "space"}, {Name: "pc1", Unit: "x"}, {Name: "pc2", Unit: "x"}},
+			Rows: [][]artifact.Value{
+				{artifact.Str("control-flow"), artifact.Number(r.ControlSpreadPC1), artifact.Number(r.ControlSpreadPC2)},
+				{artifact.Str("memory"), artifact.Number(r.MemorySpreadPC1), artifact.Number(r.MemorySpreadPC2)},
+			},
+		},
+	)
+	return a
 }
 
 // String renders the scatter comparison.
-func (r *ScatterCompareResult) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s  (glyph S = %s, glyph m = %s)\n", r.Title, r.NameA, r.NameB)
-	pts := func(a, bb [][]float64) []textplot.ScatterPoint {
-		var out []textplot.ScatterPoint
-		for _, p := range a {
-			out = append(out, textplot.ScatterPoint{X: p[0], Y: p[1], Glyph: 'S'})
-		}
-		for _, p := range bb {
-			out = append(out, textplot.ScatterPoint{X: p[0], Y: p[1], Glyph: 'm'})
-		}
-		return out
-	}
-	b.WriteString(textplot.Scatter("  control-flow PCA", pts(r.ControlA, r.ControlB), 14, 56))
-	fmt.Fprintf(&b, "  control-flow spread ratio (PC1, PC2): %.2fx, %.2fx\n", r.ControlSpreadPC1, r.ControlSpreadPC2)
-	b.WriteString(textplot.Scatter("  memory PCA", pts(r.MemoryA, r.MemoryB), 14, 56))
-	fmt.Fprintf(&b, "  memory spread ratio (PC1, PC2): %.2fx, %.2fx\n", r.MemorySpreadPC1, r.MemorySpreadPC2)
-	return b.String()
-}
+func (r *ScatterCompareResult) String() string { return artifact.Text(r.Artifact()) }
 
 // Figure7Result reproduces Fig 7: the .NET subset measured on x86-64 vs
 // AArch64, compared in control-flow, memory and runtime-event PCA spaces,
@@ -251,16 +352,23 @@ type Figure7Result struct {
 }
 
 // Figure7 measures the .NET subset on both ISAs.
-func Figure7(l *Lab) (*Figure7Result, error) {
-	x86 := subsetMeasurements(l.DotNetCategories(machine.CoreI9()), TableIVDotNetSubset)
-	arm := subsetMeasurements(l.DotNetCategories(machine.Arm()), TableIVDotNetSubset)
+func Figure7(ctx context.Context, l *Lab) (*Figure7Result, error) {
+	x86Cats, err := l.DotNetCategories(ctx, machine.CoreI9())
+	if err != nil {
+		return nil, err
+	}
+	armCats, err := l.DotNetCategories(ctx, machine.Arm())
+	if err != nil {
+		return nil, err
+	}
+	x86 := subsetMeasurements(x86Cats, TableIVDotNetSubset)
+	arm := subsetMeasurements(armCats, TableIVDotNetSubset)
 	vx, _ := core.Vectors(x86)
 	va, _ := core.Vectors(arm)
 	if len(vx) < 2 || len(va) < 2 {
 		return nil, fmt.Errorf("experiments: figure 7 needs both ISA measurements")
 	}
 	out := &Figure7Result{}
-	var err error
 	if out.ControlSpreadPC1, out.ControlSpreadPC2, err = core.SpreadRatio(va, vx, metrics.ControlFlowIDs()); err != nil {
 		return nil, err
 	}
@@ -288,16 +396,39 @@ func Figure7(l *Lab) (*Figure7Result, error) {
 	return out, nil
 }
 
-// String renders Fig 7.
-func (r *Figure7Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 7: x86-64 vs AArch64 (.NET subset); ratios are Arm/x86\n")
-	fmt.Fprintf(&b, "  control-flow spread: PC1 %.2fx, PC2 %.2fx (paper: 1.36x, 1.20x)\n", r.ControlSpreadPC1, r.ControlSpreadPC2)
-	fmt.Fprintf(&b, "  memory spread:       PC1 %.2fx, PC2 %.2fx (paper: 1.19x, 2.32x)\n", r.MemorySpreadPC1, r.MemorySpreadPC2)
-	fmt.Fprintf(&b, "  runtime spread:      PC1 %.2fx, PC2 %.2fx (paper: 1.02x, 0.58x)\n", r.RuntimeSpreadPC1, r.RuntimeSpreadPC2)
-	fmt.Fprintf(&b, "  raw GM ratios:       I-TLB MPKI %.1fx (paper ~80x), LLC MPKI %.1fx (paper ~8x)\n", r.ITLBRatio, r.LLCRatio)
-	return b.String()
+// Artifact renders Fig 7: the prose comparison plus a hidden table with
+// every ratio unrounded.
+func (r *Figure7Result) Artifact() *artifact.Artifact {
+	a := &artifact.Artifact{Name: "fig7", Title: "Fig 7: x86-64 vs AArch64 (.NET subset)", Paper: "Fig. 7"}
+	a.Add(
+		&artifact.Note{Name: "summary", Lines: []string{
+			"Fig 7: x86-64 vs AArch64 (.NET subset); ratios are Arm/x86",
+			fmt.Sprintf("  control-flow spread: PC1 %.2fx, PC2 %.2fx (paper: 1.36x, 1.20x)", r.ControlSpreadPC1, r.ControlSpreadPC2),
+			fmt.Sprintf("  memory spread:       PC1 %.2fx, PC2 %.2fx (paper: 1.19x, 2.32x)", r.MemorySpreadPC1, r.MemorySpreadPC2),
+			fmt.Sprintf("  runtime spread:      PC1 %.2fx, PC2 %.2fx (paper: 1.02x, 0.58x)", r.RuntimeSpreadPC1, r.RuntimeSpreadPC2),
+			fmt.Sprintf("  raw GM ratios:       I-TLB MPKI %.1fx (paper ~80x), LLC MPKI %.1fx (paper ~8x)", r.ITLBRatio, r.LLCRatio),
+		}},
+		&artifact.Table{
+			Name:    "ratios-data",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "comparison"}, {Name: "value", Unit: "x"}},
+			Rows: [][]artifact.Value{
+				{artifact.Str("control_spread_pc1"), artifact.Number(r.ControlSpreadPC1)},
+				{artifact.Str("control_spread_pc2"), artifact.Number(r.ControlSpreadPC2)},
+				{artifact.Str("memory_spread_pc1"), artifact.Number(r.MemorySpreadPC1)},
+				{artifact.Str("memory_spread_pc2"), artifact.Number(r.MemorySpreadPC2)},
+				{artifact.Str("runtime_spread_pc1"), artifact.Number(r.RuntimeSpreadPC1)},
+				{artifact.Str("runtime_spread_pc2"), artifact.Number(r.RuntimeSpreadPC2)},
+				{artifact.Str("itlb_mpki_gm"), artifact.Number(r.ITLBRatio)},
+				{artifact.Str("llc_mpki_gm"), artifact.Number(r.LLCRatio)},
+			},
+		},
+	)
+	return a
 }
+
+// String renders Fig 7.
+func (r *Figure7Result) String() string { return artifact.Text(r.Artifact()) }
 
 // Figure8Result reproduces Fig 8: raw performance-counter comparisons with
 // the paper's headline geomeans.
@@ -317,8 +448,11 @@ func figure8Metrics() []metrics.ID {
 }
 
 // Figure8 collects the counter comparison.
-func Figure8(l *Lab) (*Figure8Result, error) {
-	dn, asp, spec := l.subsetVectors()
+func Figure8(ctx context.Context, l *Lab) (*Figure8Result, error) {
+	dn, asp, spec, err := l.subsetVectors(ctx)
+	if err != nil {
+		return nil, err
+	}
 	out := &Figure8Result{
 		Metrics: figure8Metrics(),
 		GM:      map[string]map[metrics.ID]float64{},
@@ -339,23 +473,38 @@ func Figure8(l *Lab) (*Figure8Result, error) {
 	return out, nil
 }
 
-// String renders Fig 8 geomeans.
-func (r *Figure8Result) String() string {
-	header := []string{"metric", ".NET", "ASP.NET", "SPEC CPU17", "paper (ASP.NET vs SPEC)"}
+// Artifact renders Fig 8 geomeans as a table whose numeric cells carry
+// both the %.3g text rendering and the unrounded value.
+func (r *Figure8Result) Artifact() *artifact.Artifact {
 	notes := map[metrics.ID]string{
 		metrics.L1DMPKI: "15.9 vs 29",
 		metrics.L2MPKI:  "20.4 vs 11",
 		metrics.LLCMPKI: "0.16 vs 0.98",
 	}
-	var rows [][]string
+	gm := func(suite string, id metrics.ID) artifact.Value {
+		v := r.GM[suite][id]
+		return artifact.Num(fmt.Sprintf("%.3g", v), v)
+	}
+	var rows [][]artifact.Value
 	for _, id := range r.Metrics {
-		rows = append(rows, []string{
-			id.Name(),
-			fmt.Sprintf("%.3g", r.GM[".NET"][id]),
-			fmt.Sprintf("%.3g", r.GM["ASP.NET"][id]),
-			fmt.Sprintf("%.3g", r.GM["SPEC CPU17"][id]),
-			notes[id],
+		rows = append(rows, []artifact.Value{
+			artifact.Str(id.Name()),
+			gm(".NET", id), gm("ASP.NET", id), gm("SPEC CPU17", id),
+			artifact.Str(notes[id]),
 		})
 	}
-	return textplot.Table("Fig 8: performance-counter geomeans (x86-64)", header, rows)
+	a := &artifact.Artifact{Name: "fig8", Title: "Fig 8: performance-counter geomeans (x86-64)", Paper: "Fig. 8"}
+	a.Add(&artifact.Table{
+		Name:  "geomeans",
+		Title: "Fig 8: performance-counter geomeans (x86-64)",
+		Columns: []artifact.Column{
+			{Name: "metric"}, {Name: ".NET"}, {Name: "ASP.NET"}, {Name: "SPEC CPU17"},
+			{Name: "paper (ASP.NET vs SPEC)"},
+		},
+		Rows: rows,
+	})
+	return a
 }
+
+// String renders Fig 8 geomeans.
+func (r *Figure8Result) String() string { return artifact.Text(r.Artifact()) }

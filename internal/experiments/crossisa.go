@@ -1,14 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/subset"
-	"repro/internal/textplot"
 )
 
 // CrossISAResult extends §V-D: is a representative subset chosen on x86
@@ -28,14 +28,23 @@ type CrossISAResult struct {
 }
 
 // CrossISA runs the study on the 44 .NET categories.
-func CrossISA(l *Lab) (*CrossISAResult, error) {
+func CrossISA(ctx context.Context, l *Lab) (*CrossISAResult, error) {
 	baseM := machine.XeonE5()
 	x86M := machine.CoreI9()
 	armM := machine.Arm()
 
-	base := l.DotNetCategories(baseM)
-	x86 := l.DotNetCategories(x86M)
-	arm := l.DotNetCategories(armM)
+	base, err := l.DotNetCategories(ctx, baseM)
+	if err != nil {
+		return nil, err
+	}
+	x86, err := l.DotNetCategories(ctx, x86M)
+	if err != nil {
+		return nil, err
+	}
+	arm, err := l.DotNetCategories(ctx, armM)
+	if err != nil {
+		return nil, err
+	}
 
 	x86Scores, err := machineScores(base, x86)
 	if err != nil {
@@ -66,22 +75,35 @@ func CrossISA(l *Lab) (*CrossISAResult, error) {
 	return out, nil
 }
 
-// String renders the study.
-func (r *CrossISAResult) String() string {
-	var b strings.Builder
-	b.WriteString("Cross-ISA subset validity (extension): does an x86-derived subset transfer to Arm?\n")
-	header := []string{"validation", "full composite", "subset composite", "accuracy"}
-	var rows [][]string
+// Artifact renders the study: header, validation table, reading notes.
+func (r *CrossISAResult) Artifact() *artifact.Artifact {
+	var rows [][]artifact.Value
 	for _, v := range []subset.Validation{r.X86Validation, r.ArmValidation, r.ArmNativeValidation} {
-		rows = append(rows, []string{
-			v.Name,
-			fmt.Sprintf("%.4f", v.FullComposite),
-			fmt.Sprintf("%.4f", v.SubsetComposite),
-			fmt.Sprintf("%.1f%%", v.AccuracyFraction*100),
+		rows = append(rows, []artifact.Value{
+			artifact.Str(v.Name),
+			artifact.Num(fmt.Sprintf("%.4f", v.FullComposite), v.FullComposite),
+			artifact.Num(fmt.Sprintf("%.4f", v.SubsetComposite), v.SubsetComposite),
+			artifact.Num(fmt.Sprintf("%.1f%%", v.AccuracyFraction*100), v.AccuracyFraction*100),
 		})
 	}
-	b.WriteString(textplot.Table("", header, rows))
-	b.WriteString("  reading: a large x86->Arm accuracy drop would mean benchmark subsetting\n")
-	b.WriteString("  must be redone per ISA, a caveat for the paper's §VIII Arm guidance\n")
-	return b.String()
+	a := &artifact.Artifact{Name: "crossisa", Title: "Cross-ISA subset validity (extension)", Paper: "§V-D / §VIII extension"}
+	a.Add(
+		artifact.NoteLine("header", "Cross-ISA subset validity (extension): does an x86-derived subset transfer to Arm?"),
+		&artifact.Table{
+			Name: "validations",
+			Columns: []artifact.Column{
+				{Name: "validation"}, {Name: "full composite"}, {Name: "subset composite"},
+				{Name: "accuracy", Unit: "%"},
+			},
+			Rows: rows,
+		},
+		&artifact.Note{Name: "reading", Lines: []string{
+			"  reading: a large x86->Arm accuracy drop would mean benchmark subsetting",
+			"  must be redone per ISA, a caveat for the paper's §VIII Arm guidance",
+		}},
+	)
+	return a
 }
+
+// String renders the study.
+func (r *CrossISAResult) String() string { return artifact.Text(r.Artifact()) }

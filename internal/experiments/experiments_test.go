@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 var quickLab = NewLab(Quick())
 
 func TestTableIII(t *testing.T) {
-	res, err := TableIII(quickLab)
+	res, err := TableIII(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestTableIII(t *testing.T) {
 }
 
 func TestTableIV(t *testing.T) {
-	res, err := TableIV(quickLab)
+	res, err := TableIV(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestTableIV(t *testing.T) {
 }
 
 func TestFigure1(t *testing.T) {
-	res, err := Figure1(quickLab)
+	res, err := Figure1(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFigure1(t *testing.T) {
 }
 
 func TestFigure2SubsetValidation(t *testing.T) {
-	res, err := Figure2(quickLab)
+	res, err := Figure2(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFigure2SubsetValidation(t *testing.T) {
 }
 
 func TestFigure3KernelOrdering(t *testing.T) {
-	res, err := Figure3(quickLab)
+	res, err := Figure3(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestFigure3KernelOrdering(t *testing.T) {
 }
 
 func TestFigure4MixShape(t *testing.T) {
-	res, err := Figure4(quickLab)
+	res, err := Figure4(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFigure4MixShape(t *testing.T) {
 }
 
 func TestFigure5And6Spread(t *testing.T) {
-	f5, err := Figure5(quickLab)
+	f5, err := Figure5(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestFigure5And6Spread(t *testing.T) {
 	if f5.ControlSpreadPC1 <= 1 {
 		t.Fatalf("Fig 5 control spread %.2f should exceed 1", f5.ControlSpreadPC1)
 	}
-	f6, err := Figure6(quickLab)
+	f6, err := Figure6(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestFigure5And6Spread(t *testing.T) {
 }
 
 func TestFigure7ArmGap(t *testing.T) {
-	res, err := Figure7(quickLab)
+	res, err := Figure7(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFigure7ArmGap(t *testing.T) {
 }
 
 func TestFigure8CounterShape(t *testing.T) {
-	res, err := Figure8(quickLab)
+	res, err := Figure8(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestFigure8CounterShape(t *testing.T) {
 }
 
 func TestFigure9TopDownShape(t *testing.T) {
-	res, err := Figure9(quickLab)
+	res, err := Figure9(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestFigure9TopDownShape(t *testing.T) {
 }
 
 func TestFigure10Breakdowns(t *testing.T) {
-	res, err := Figure10(quickLab)
+	res, err := Figure10(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestFigure10Breakdowns(t *testing.T) {
 }
 
 func TestFigure11And12Scaling(t *testing.T) {
-	res, err := Figure11(quickLab)
+	res, err := Figure11(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestFigure11And12Scaling(t *testing.T) {
 }
 
 func TestFigure13Correlations(t *testing.T) {
-	res, err := Figure13(quickLab)
+	res, err := Figure13(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +292,7 @@ func TestFigure13Correlations(t *testing.T) {
 }
 
 func TestFigure14GCComparison(t *testing.T) {
-	res, err := Figure14(quickLab)
+	res, err := Figure14(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func meanFloat(xs []float64) float64 {
 }
 
 func TestExtensionsWhatIf(t *testing.T) {
-	res, err := Extensions(quickLab)
+	res, err := Extensions(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestExtensionsWhatIf(t *testing.T) {
 }
 
 func TestClaimsCatalog(t *testing.T) {
-	res, err := RunClaims(quickLab)
+	res, err := RunClaims(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestClaimsCatalog(t *testing.T) {
 }
 
 func TestSensitivityOrderingsHold(t *testing.T) {
-	res, err := Sensitivity(quickLab)
+	res, err := Sensitivity(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestSensitivityOrderingsHold(t *testing.T) {
 }
 
 func TestCrossISA(t *testing.T) {
-	res, err := CrossISA(quickLab)
+	res, err := CrossISA(context.Background(), quickLab)
 	if err != nil {
 		t.Fatal(err)
 	}

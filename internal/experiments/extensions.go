@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
+	"sort"
 
+	"repro/internal/artifact"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/textplot"
 	"repro/internal/workload"
 )
 
@@ -109,7 +110,7 @@ func extensionCases() []assistCase {
 }
 
 // Extensions runs the §VIII what-if studies.
-func Extensions(l *Lab) (*ExtensionsResult, error) {
+func Extensions(ctx context.Context, l *Lab) (*ExtensionsResult, error) {
 	out := &ExtensionsResult{Speedup: map[string]float64{}}
 	m := machine.CoreI9()
 	perAssist := map[string][]float64{}
@@ -119,6 +120,9 @@ func Extensions(l *Lab) (*ExtensionsResult, error) {
 			p, ok := workload.ByName(ps, name)
 			if !ok {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			base := c.opts(sim.Options{Instructions: l.Cfg.Instructions * 4})
 			baseRes, err := sim.Run(p, m, base)
@@ -156,27 +160,53 @@ func Extensions(l *Lab) (*ExtensionsResult, error) {
 	return out, nil
 }
 
-// String renders the extension study.
-func (r *ExtensionsResult) String() string {
-	var b strings.Builder
-	b.WriteString("Extensions: the paper's §VIII cross-stack hardware proposals, quantified\n")
-	b.WriteString("(ratios are assisted/baseline; < 1 means the assist helps)\n")
-	header := []string{"assist", "workload", "CPI", "L1I MPKI", "I-TLB MPKI", "BTB misses", "LLC MPKI", "instructions"}
-	var rows [][]string
+// Artifact renders the extension study: headers, the ratio table, the
+// per-assist speedup lines, and a hidden speedup table.
+func (r *ExtensionsResult) Artifact() *artifact.Artifact {
+	ratioCell := func(v float64) artifact.Value { return artifact.Num(fmt.Sprintf("%.3f", v), v) }
+	var rows [][]artifact.Value
 	for _, d := range r.Deltas {
-		rows = append(rows, []string{
-			d.Assist, d.Workload,
-			fmt.Sprintf("%.3f", d.CPIRatio),
-			fmt.Sprintf("%.3f", d.L1IRatio),
-			fmt.Sprintf("%.3f", d.ITLBRatio),
-			fmt.Sprintf("%.3f", d.BTBMissRatio),
-			fmt.Sprintf("%.3f", d.LLCRatio),
-			fmt.Sprintf("%.3f", d.InstrRatio),
+		rows = append(rows, []artifact.Value{
+			artifact.Str(d.Assist), artifact.Str(d.Workload),
+			ratioCell(d.CPIRatio), ratioCell(d.L1IRatio), ratioCell(d.ITLBRatio),
+			ratioCell(d.BTBMissRatio), ratioCell(d.LLCRatio), ratioCell(d.InstrRatio),
 		})
 	}
-	b.WriteString(textplot.Table("", header, rows))
-	for _, name := range textplot.SortedKeys(r.Speedup) {
-		fmt.Fprintf(&b, "  %-24s mean speedup %.3fx\n", name, r.Speedup[name])
+	names := make([]string, 0, len(r.Speedup))
+	for name := range r.Speedup {
+		names = append(names, name)
 	}
-	return b.String()
+	sort.Strings(names)
+	var speedupLines []string
+	var speedupRows [][]artifact.Value
+	for _, name := range names {
+		speedupLines = append(speedupLines, fmt.Sprintf("  %-24s mean speedup %.3fx", name, r.Speedup[name]))
+		speedupRows = append(speedupRows, []artifact.Value{artifact.Str(name), artifact.Number(r.Speedup[name])})
+	}
+	a := &artifact.Artifact{Name: "extensions", Title: "Extensions: §VIII hardware proposals, quantified", Paper: "§VIII"}
+	a.Add(
+		&artifact.Note{Name: "header", Lines: []string{
+			"Extensions: the paper's §VIII cross-stack hardware proposals, quantified",
+			"(ratios are assisted/baseline; < 1 means the assist helps)",
+		}},
+		&artifact.Table{
+			Name: "ratios",
+			Columns: []artifact.Column{
+				{Name: "assist"}, {Name: "workload"}, {Name: "CPI"}, {Name: "L1I MPKI"},
+				{Name: "I-TLB MPKI"}, {Name: "BTB misses"}, {Name: "LLC MPKI"}, {Name: "instructions"},
+			},
+			Rows: rows,
+		},
+		&artifact.Note{Name: "speedups", Lines: speedupLines},
+		&artifact.Table{
+			Name:    "speedups-data",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "assist"}, {Name: "mean_speedup", Unit: "x"}},
+			Rows:    speedupRows,
+		},
+	)
+	return a
 }
+
+// String renders the extension study.
+func (r *ExtensionsResult) String() string { return artifact.Text(r.Artifact()) }

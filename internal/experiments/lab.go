@@ -1,14 +1,20 @@
 // Package experiments contains one driver per table and figure of the
-// paper's evaluation. Each driver returns a structured result with a
-// String() rendering, so the CLI, the examples, the benchmarks and the
-// tests all regenerate the same artifacts from one code path.
+// paper's evaluation. Each driver returns a structured result that
+// produces a typed artifact (internal/artifact); String() on every result
+// is the artifact's text rendering, so the CLI, the examples, the
+// benchmarks and the tests all regenerate the same output from one code
+// path, and the JSON/CSV renderers expose the same data structurally.
+// Drivers register themselves in registry.go; cmd/charnet's dispatch
+// table, usage string and `all` loop are generated from that registry.
 //
 // Drivers share a Lab, which caches suite measurements per machine: most
 // figures consume the same measured vectors, and the .NET suite alone has
-// up to 2906 workloads.
+// up to 2906 workloads. Every driver takes a context; cancelling it
+// aborts in-flight suite measurement within one workload's sim time.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -74,21 +80,32 @@ type Lab struct {
 
 	mu    sync.Mutex
 	cache map[string]*measureEntry
+	memo  map[string]*memoEntry
 }
 
 // measureEntry is a singleflight cell: the first caller for a key creates
-// it and measures; later callers wait on done and share the result.
+// it and measures; later callers wait on done and share the result — or
+// the error, when the leader's context was cancelled mid-measurement.
 type measureEntry struct {
 	done chan struct{}
 	ms   []core.Measurement
+	err  error
+}
+
+// memoEntry is the singleflight cell for derived results shared between
+// drivers (see Lab.once).
+type memoEntry struct {
+	done chan struct{}
+	val  any
+	err  error
 }
 
 // NewLab builds a Lab with the given fidelity.
 func NewLab(cfg Config) *Lab {
-	return &Lab{Cfg: cfg, cache: make(map[string]*measureEntry)}
+	return &Lab{Cfg: cfg, cache: make(map[string]*measureEntry), memo: make(map[string]*memoEntry)}
 }
 
-func (l *Lab) measure(key string, ps []workload.Profile, m *machine.Config, opts sim.Options) []core.Measurement {
+func (l *Lab) measure(ctx context.Context, key string, ps []workload.Profile, m *machine.Config, opts sim.Options) ([]core.Measurement, error) {
 	l.mu.Lock()
 	if e, ok := l.cache[key]; ok {
 		l.mu.Unlock()
@@ -97,21 +114,58 @@ func (l *Lab) measure(key string, ps []workload.Profile, m *machine.Config, opts
 			l.Obs.Add("lab.memcache.hits", 1)
 		default:
 			// A measurement of this key is in flight: wait it out rather
-			// than duplicating the full-suite simulation.
+			// than duplicating the full-suite simulation. If the leader's
+			// context gets cancelled we inherit its error; the failed entry
+			// is evicted, so a later uncancelled call re-measures.
 			l.Obs.Add("lab.singleflight.coalesced", 1)
 			<-e.done
 		}
-		return e.ms
+		return e.ms, e.err
 	}
 	e := &measureEntry{done: make(chan struct{})}
 	l.cache[key] = e
 	l.mu.Unlock()
 	span := l.Obs.Span("measure", key)
 	opts.Obs = span
-	e.ms = core.MeasureSuiteCachedWorkers(l.Store, ps, m, opts, l.Cfg.Workers)
+	e.ms, e.err = core.MeasureSuiteCtx(ctx, l.Store, ps, m, opts, l.Cfg.Workers)
 	span.End()
+	if e.err != nil {
+		// Evict before releasing waiters: an entry that failed (in practice,
+		// was cancelled) must not poison the key for future callers. A
+		// caller racing the eviction either holds e (and sees the error) or
+		// misses the map and measures fresh — both are correct.
+		l.mu.Lock()
+		delete(l.cache, key)
+		l.mu.Unlock()
+	}
 	close(e.done)
-	return e.ms
+	return e.ms, e.err
+}
+
+// once runs f at most once per key and shares the result, under the same
+// singleflight-with-eviction discipline as measure: concurrent callers
+// wait for the leader, a failed computation is evicted so later callers
+// retry, and a successful one is served from memory forever after. It
+// exists for derived results two drivers share — Figs 11 and 12 both
+// consume the ASP.NET core-count sweep.
+func (l *Lab) once(ctx context.Context, key string, f func(context.Context) (any, error)) (any, error) {
+	l.mu.Lock()
+	if e, ok := l.memo[key]; ok {
+		l.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	l.memo[key] = e
+	l.mu.Unlock()
+	e.val, e.err = f(ctx)
+	if e.err != nil {
+		l.mu.Lock()
+		delete(l.memo, key)
+		l.mu.Unlock()
+	}
+	close(e.done)
+	return e.val, e.err
 }
 
 func (l *Lab) opts() sim.Options {
@@ -119,14 +173,14 @@ func (l *Lab) opts() sim.Options {
 }
 
 // DotNetCategories measures the 44 .NET category archetypes on m.
-func (l *Lab) DotNetCategories(m *machine.Config) []core.Measurement {
+func (l *Lab) DotNetCategories(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
 	key := fmt.Sprintf("dotnet-cats/%s", m.Name)
-	return l.measure(key, workload.DotNetCategories(), m, l.opts())
+	return l.measure(ctx, key, workload.DotNetCategories(), m, l.opts())
 }
 
 // DotNetIndividual measures the individual .NET microbenchmarks on m,
 // honoring the configured limit.
-func (l *Lab) DotNetIndividual(m *machine.Config) []core.Measurement {
+func (l *Lab) DotNetIndividual(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
 	ws := workload.DotNetWorkloads()
 	if n := l.Cfg.DotNetIndividualLimit; n > 0 && n < len(ws) {
 		// Deterministic stride sample across categories rather than a
@@ -146,20 +200,20 @@ func (l *Lab) DotNetIndividual(m *machine.Config) []core.Measurement {
 	opts := l.opts()
 	// Individual microbenchmarks are short; a third of the budget each.
 	opts.Instructions = l.Cfg.Instructions/3 + 1000
-	return l.measure(key, ws, m, opts)
+	return l.measure(ctx, key, ws, m, opts)
 }
 
 // AspNet measures the 53 ASP.NET benchmarks on m at their natural core
 // counts.
-func (l *Lab) AspNet(m *machine.Config) []core.Measurement {
+func (l *Lab) AspNet(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
 	key := fmt.Sprintf("aspnet/%s", m.Name)
-	return l.measure(key, workload.AspNetWorkloads(), m, l.opts())
+	return l.measure(ctx, key, workload.AspNetWorkloads(), m, l.opts())
 }
 
 // Spec measures the SPEC CPU17 catalog on m.
-func (l *Lab) Spec(m *machine.Config) []core.Measurement {
+func (l *Lab) Spec(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
 	key := fmt.Sprintf("spec/%s", m.Name)
-	return l.measure(key, workload.SpecWorkloads(), m, l.opts())
+	return l.measure(ctx, key, workload.SpecWorkloads(), m, l.opts())
 }
 
 // TableIVDotNetSubset is the paper's chosen 8-category .NET subset.

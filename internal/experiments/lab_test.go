@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -37,12 +38,13 @@ func TestMeasureSingleflight(t *testing.T) {
 
 	const callers = 8
 	results := make([][]core.Measurement, callers)
+	errs := make([]error, callers)
 	var wg sync.WaitGroup
 	for i := 0; i < callers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = lab.measure("race-key", ps, m, sim.Options{Instructions: 2000})
+			results[i], errs[i] = lab.measure(context.Background(), "race-key", ps, m, sim.Options{Instructions: 2000})
 		}(i)
 	}
 	wg.Wait()
@@ -50,10 +52,91 @@ func TestMeasureSingleflight(t *testing.T) {
 	if n := counter.puts.Load(); n != 1 {
 		t.Fatalf("suite measured %d times for one key; want 1", n)
 	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d errored: %v", i, errs[i])
+		}
+	}
 	for i := 1; i < callers; i++ {
 		if &results[i][0] != &results[0][0] {
 			t.Fatalf("caller %d received a different measurement slice", i)
 		}
+	}
+}
+
+// TestMeasureCancelledEvicted checks the error path of the singleflight:
+// a cancelled measurement must propagate the context error to every
+// waiter, write nothing to the store, and leave no poisoned cache entry —
+// a later call with a live context re-measures and succeeds.
+func TestMeasureCancelledEvicted(t *testing.T) {
+	lab := NewLab(Config{Instructions: 2000})
+	counter := &countingCache{}
+	lab.Store = counter
+	m := machine.CoreI9()
+	ps := workload.DotNetCategories()[:4]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lab.measure(ctx, "cancel-key", ps, m, sim.Options{Instructions: 2000}); err == nil {
+		t.Fatal("cancelled measure should fail")
+	}
+	if n := counter.puts.Load(); n != 0 {
+		t.Fatalf("cancelled measurement stored %d entries; want 0", n)
+	}
+
+	ms, err := lab.measure(context.Background(), "cancel-key", ps, m, sim.Options{Instructions: 2000})
+	if err != nil {
+		t.Fatalf("re-measure after cancellation: %v", err)
+	}
+	if len(ms) != len(ps) {
+		t.Fatalf("re-measure yielded %d measurements, want %d", len(ms), len(ps))
+	}
+	if n := counter.puts.Load(); n != 1 {
+		t.Fatalf("re-measure stored %d entries; want 1", n)
+	}
+}
+
+// TestOnceMemo checks the generic memo: one execution per key, shared
+// value, and eviction on error so a later call can succeed.
+func TestOnceMemo(t *testing.T) {
+	lab := NewLab(Config{Instructions: 2000})
+	var runs atomic.Int64
+	f := func(context.Context) (any, error) {
+		runs.Add(1)
+		return "value", nil
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	vals := make([]any, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], _ = lab.once(context.Background(), "memo-key", f)
+		}(i)
+	}
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("memoized function ran %d times; want 1", n)
+	}
+	for i := range vals {
+		if vals[i] != "value" {
+			t.Fatalf("caller %d got %v", i, vals[i])
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := lab.once(ctx, "memo-err", func(ctx context.Context) (any, error) {
+		return nil, ctx.Err()
+	}); err == nil {
+		t.Fatal("erroring memo should fail")
+	}
+	v, err := lab.once(context.Background(), "memo-err", func(context.Context) (any, error) {
+		return 42, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("memo entry not evicted on error: v=%v err=%v", v, err)
 	}
 }
 
@@ -66,7 +149,10 @@ func TestDotNetIndividualExactLimit(t *testing.T) {
 		cfg.Instructions = 1200
 		cfg.DotNetIndividualLimit = n
 		lab := NewLab(cfg)
-		ms := lab.DotNetIndividual(machine.CoreI9())
+		ms, err := lab.DotNetIndividual(context.Background(), machine.CoreI9())
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(ms) != n {
 			t.Fatalf("limit %d yielded %d workloads", n, len(ms))
 		}
@@ -81,9 +167,15 @@ func TestDotNetIndividualKeyedOnSelection(t *testing.T) {
 	cfg.DotNetIndividualLimit = 5
 	lab := NewLab(cfg)
 	m := machine.CoreI9()
-	a := lab.DotNetIndividual(m)
+	a, err := lab.DotNetIndividual(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	lab.Cfg.DotNetIndividualLimit = 9
-	b := lab.DotNetIndividual(m)
+	b, err := lab.DotNetIndividual(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a) != 5 || len(b) != 9 {
 		t.Fatalf("got %d and %d measurements, want 5 and 9", len(a), len(b))
 	}

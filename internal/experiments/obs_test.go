@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ func TestObservedRunIsByteIdentical(t *testing.T) {
 	cfg.CoreSweep = []int{1, 4}
 
 	plain := NewLab(cfg)
-	ref, err := TableIV(plain)
+	ref, err := TableIV(context.Background(), plain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestObservedRunIsByteIdentical(t *testing.T) {
 	var progress strings.Builder
 	traced := NewLab(cfg)
 	traced.Obs = obs.New(obs.WithProgress(&progress))
-	got, err := TableIV(traced)
+	got, err := TableIV(context.Background(), traced)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestSingleflightCoalescedCounter(t *testing.T) {
 	done := make(chan struct{})
 	for i := 0; i < callers; i++ {
 		go func() {
-			lab.DotNetCategories(m)
+			lab.DotNetCategories(context.Background(), m)
 			done <- struct{}{}
 		}()
 	}
@@ -92,7 +93,9 @@ func TestSingleflightCoalescedCounter(t *testing.T) {
 			coalesced, hits, coalesced+hits, callers-1)
 	}
 	// A repeat on the now-warm in-memory cache is a plain hit.
-	lab.DotNetCategories(m)
+	if _, err := lab.DotNetCategories(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
 	if got := lab.Obs.Counter("lab.memcache.hits"); got != hits+1 {
 		t.Fatalf("warm repeat did not count as a memcache hit: %d -> %d", hits, got)
 	}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/artifact"
+)
+
+// Driver is one registered experiment: a CLI name, a human title, the
+// paper artifact it reproduces, and a runner producing a typed artifact.
+// cmd/charnet generates its dispatch table, usage string and `all` loop
+// from Drivers(), so registering a driver here is all it takes to expose
+// it everywhere.
+type Driver struct {
+	Name  string // CLI command and artifact name ("fig3", "table4", ...)
+	Title string // one-line description for the usage string
+	Paper string // paper reference ("Fig. 3", "Table IV", ...)
+	// SkipInTextAll excludes the driver from text-format `all` runs.
+	// Only fig12 sets it: the legacy combined text rendering already
+	// prints the Fig 12 columns inside fig11's table, and text output of
+	// `all` is pinned byte-for-byte to docs/full_output.txt. Structured
+	// formats (JSON/CSV) include every driver.
+	SkipInTextAll bool
+	Run           func(ctx context.Context, l *Lab) (artifact.Producer, error)
+}
+
+// wrap adapts a typed driver function to the registry's Run signature.
+func wrap[T artifact.Producer](f func(context.Context, *Lab) (T, error)) func(context.Context, *Lab) (artifact.Producer, error) {
+	return func(ctx context.Context, l *Lab) (artifact.Producer, error) {
+		r, err := f(ctx, l)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// drivers is the registry, in paper order. Every table and figure of the
+// evaluation appears exactly once; extensions follow the paper artifacts.
+var drivers = []Driver{
+	{Name: "table3", Title: "Table III principal-component loading factors", Paper: "Table III", Run: wrap(TableIII)},
+	{Name: "table4", Title: "Table IV representative subsets", Paper: "Table IV", Run: wrap(TableIV)},
+	{Name: "fig1", Title: "Fig 1 dendrogram of .NET categories", Paper: "Fig. 1", Run: wrap(Figure1)},
+	{Name: "fig2", Title: "Fig 2 subset validation scores", Paper: "Fig. 2", Run: wrap(Figure2)},
+	{Name: "fig3", Title: "Fig 3 kernel-instruction fraction", Paper: "Fig. 3", Run: wrap(Figure3)},
+	{Name: "fig4", Title: "Fig 4 instruction-type breakdown", Paper: "Fig. 4", Run: wrap(Figure4)},
+	{Name: "fig5", Title: "Fig 5 .NET vs SPEC PCA scatter", Paper: "Fig. 5", Run: wrap(Figure5)},
+	{Name: "fig6", Title: "Fig 6 ASP.NET vs SPEC PCA scatter", Paper: "Fig. 6", Run: wrap(Figure6)},
+	{Name: "fig7", Title: "Fig 7 x86-64 vs AArch64 comparison", Paper: "Fig. 7", Run: wrap(Figure7)},
+	{Name: "fig8", Title: "Fig 8 performance-counter geomeans", Paper: "Fig. 8", Run: wrap(Figure8)},
+	{Name: "fig9", Title: "Fig 9 basic Top-Down profiles", Paper: "Fig. 9", Run: wrap(Figure9)},
+	{Name: "fig10", Title: "Fig 10 frontend/backend breakdowns", Paper: "Fig. 10", Run: wrap(Figure10)},
+	{Name: "fig11", Title: "Fig 11 ASP.NET Top-Down vs core count", Paper: "Fig. 11", Run: wrap(Figure11)},
+	{Name: "fig12", Title: "Fig 12 L3-bound share vs core count", Paper: "Fig. 12", SkipInTextAll: true, Run: wrap(Figure12)},
+	{Name: "fig13", Title: "Fig 13 JIT/GC correlation studies", Paper: "Fig. 13", Run: wrap(Figure13)},
+	{Name: "fig14", Title: "Fig 14 workstation vs server GC", Paper: "Fig. 14", Run: wrap(Figure14)},
+	{Name: "extensions", Title: "§VIII hardware-assist what-if studies", Paper: "§VIII", Run: wrap(Extensions)},
+	{Name: "claims", Title: "machine-checked reproduction claims", Paper: "EXPERIMENTS.md", Run: wrap(runClaimsDriver)},
+	{Name: "sensitivity", Title: "robustness of headline orderings", Paper: "ext.", Run: wrap(Sensitivity)},
+	{Name: "crossisa", Title: "cross-ISA subset validity (extension)", Paper: "§V-D ext.", Run: wrap(CrossISA)},
+}
+
+// runClaimsDriver adapts RunClaims to the common driver shape.
+func runClaimsDriver(ctx context.Context, l *Lab) (*ClaimsResult, error) {
+	return RunClaims(ctx, l)
+}
+
+// Drivers returns the registry in paper order. The slice is shared:
+// callers must not mutate it.
+func Drivers() []Driver {
+	return drivers
+}
+
+// DriverByName looks a driver up by CLI name.
+func DriverByName(name string) (Driver, bool) {
+	for _, d := range drivers {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Driver{}, false
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/artifact"
+)
+
+// TestRegistryShape: every driver appears exactly once with complete
+// metadata, DriverByName agrees with the slice, and fig12 is the only
+// driver excluded from text-format `all` (its columns already appear in
+// fig11's legacy table, which is pinned byte-for-byte).
+func TestRegistryShape(t *testing.T) {
+	ds := Drivers()
+	if len(ds) != 20 {
+		t.Fatalf("registry has %d drivers, want 20", len(ds))
+	}
+	seen := map[string]bool{}
+	for _, d := range ds {
+		if d.Name == "" || d.Title == "" || d.Paper == "" || d.Run == nil {
+			t.Errorf("driver %+v has incomplete metadata", d)
+		}
+		if seen[d.Name] {
+			t.Errorf("driver %q registered twice", d.Name)
+		}
+		seen[d.Name] = true
+		got, ok := DriverByName(d.Name)
+		if !ok || got.Name != d.Name {
+			t.Errorf("DriverByName(%q) = %+v, %v", d.Name, got, ok)
+		}
+		if d.SkipInTextAll != (d.Name == "fig12") {
+			t.Errorf("driver %q SkipInTextAll = %v; only fig12 may be skipped", d.Name, d.SkipInTextAll)
+		}
+	}
+	if _, ok := DriverByName("fig99"); ok {
+		t.Error("DriverByName resolved an unregistered name")
+	}
+}
+
+// TestRegistryArtifactsDeterministic runs every registered driver twice —
+// once against the shared warm lab, once against a fresh one — and
+// requires a non-empty text rendering that is byte-identical across the
+// runs, with the artifact named after its registry entry. This is the
+// whole-registry determinism contract the CLI's `all` output rests on.
+func TestRegistryArtifactsDeterministic(t *testing.T) {
+	ctx := context.Background()
+	fresh := NewLab(Quick())
+	for _, d := range Drivers() {
+		warmRes, err := d.Run(ctx, quickLab)
+		if err != nil {
+			t.Fatalf("%s (warm lab): %v", d.Name, err)
+		}
+		a := warmRes.Artifact()
+		if a.Name != d.Name {
+			t.Errorf("%s: artifact named %q; registry and artifact names must match", d.Name, a.Name)
+		}
+		if a.Title == "" || len(a.Payloads) == 0 {
+			t.Errorf("%s: artifact missing title or payloads", d.Name)
+		}
+		warmText := artifact.Text(a)
+		if warmText == "" {
+			t.Errorf("%s: empty text rendering", d.Name)
+		}
+		freshRes, err := d.Run(ctx, fresh)
+		if err != nil {
+			t.Fatalf("%s (fresh lab): %v", d.Name, err)
+		}
+		if freshText := artifact.Text(freshRes.Artifact()); freshText != warmText {
+			t.Errorf("%s: text rendering differs between a warm and a fresh lab", d.Name)
+		}
+	}
+}

@@ -1,16 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/clr"
 	"repro/internal/machine"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/textplot"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -39,7 +39,7 @@ func figure13Counters() []trace.CounterSeries {
 }
 
 // Figure13 runs the correlation studies.
-func Figure13(l *Lab) (*Figure13Result, error) {
+func Figure13(ctx context.Context, l *Lab) (*Figure13Result, error) {
 	out := &Figure13Result{
 		JIT:     map[string]map[trace.CounterSeries]float64{},
 		GC:      map[string]map[trace.CounterSeries]float64{},
@@ -55,6 +55,9 @@ func Figure13(l *Lab) (*Figure13Result, error) {
 		p, ok := workload.ByName(all, name)
 		if !ok {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// JIT study: huge heap (no GC), churning code.
 		jitRes, err := sim.Run(p, machine.CoreI9(), sim.Options{
@@ -75,6 +78,9 @@ func Figure13(l *Lab) (*Figure13Result, error) {
 		out.JIT[name] = corMap(jitCors)
 		out.JITRank[name] = rankMap(jitCors)
 
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// GC study: small heap, aggressive allocation compression.
 		gcRes, err := sim.Run(p, machine.CoreI9(), sim.Options{
 			Instructions:   l.Cfg.Instructions * 2,
@@ -136,11 +142,33 @@ func meanOf(m map[string]map[trace.CounterSeries]float64, c trace.CounterSeries)
 	return stats.Mean(xs)
 }
 
-// String renders Fig 13.
-func (r *Figure13Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 13: correlation of runtime events with counters (mean Pearson r over ASP.NET subset)\n")
-	header := []string{"counter", "(a) JIT r", "(a) JIT ρ", "(b) GC r", "(b) GC ρ", "paper direction"}
+// heatmapTable converts one per-benchmark correlation map into a
+// heatmap-styled table payload (benchmarks sorted, counters in Fig 13
+// order).
+func heatmapTable(name, title string, m map[string]map[trace.CounterSeries]float64) *artifact.Table {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cols := []artifact.Column{{Name: "benchmark"}}
+	for _, c := range figure13Counters() {
+		cols = append(cols, artifact.Column{Name: string(c), Unit: "r"})
+	}
+	rows := make([][]artifact.Value, len(names))
+	for i, n := range names {
+		row := []artifact.Value{artifact.Str(n)}
+		for _, c := range figure13Counters() {
+			row = append(row, artifact.Number(m[n][c]))
+		}
+		rows[i] = row
+	}
+	return &artifact.Table{Name: name, Title: title, Columns: cols, Rows: rows, Style: artifact.StyleHeatmap}
+}
+
+// Artifact renders Fig 13: the mean-correlation table and the two
+// per-benchmark heatmaps.
+func (r *Figure13Result) Artifact() *artifact.Artifact {
 	direction := map[trace.CounterSeries]string{
 		trace.SeriesBranchMPKI:  "JIT +",
 		trace.SeriesL1IMPKI:     "JIT + (~5%)",
@@ -150,43 +178,37 @@ func (r *Figure13Result) String() string {
 		trace.SeriesIPC:         "GC +",
 		trace.SeriesInstrs:      "GC +",
 	}
-	var rows [][]string
+	signed := func(v float64) artifact.Value { return artifact.Num(fmt.Sprintf("%+.3f", v), v) }
+	var rows [][]artifact.Value
 	for _, c := range figure13Counters() {
-		rows = append(rows, []string{
-			string(c),
-			fmt.Sprintf("%+.3f", r.MeanJIT(c)),
-			fmt.Sprintf("%+.3f", meanOf(r.JITRank, c)),
-			fmt.Sprintf("%+.3f", r.MeanGC(c)),
-			fmt.Sprintf("%+.3f", meanOf(r.GCRank, c)),
-			direction[c],
+		rows = append(rows, []artifact.Value{
+			artifact.Str(string(c)),
+			signed(r.MeanJIT(c)),
+			signed(meanOf(r.JITRank, c)),
+			signed(r.MeanGC(c)),
+			signed(meanOf(r.GCRank, c)),
+			artifact.Str(direction[c]),
 		})
 	}
-	b.WriteString(textplot.Table("", header, rows))
-	// Per-benchmark correlation heatmaps.
-	cols := make([]string, 0, len(figure13Counters()))
-	for _, c := range figure13Counters() {
-		cols = append(cols, string(c))
-	}
-	heat := func(title string, m map[string]map[trace.CounterSeries]float64) {
-		names := make([]string, 0, len(m))
-		for n := range m {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		vals := make([][]float64, len(names))
-		for i, n := range names {
-			row := make([]float64, len(figure13Counters()))
-			for j, c := range figure13Counters() {
-				row[j] = m[n][c]
-			}
-			vals[i] = row
-		}
-		b.WriteString(textplot.Heatmap(title, names, cols, vals))
-	}
-	heat("  (a) JIT-start correlations per benchmark", r.JIT)
-	heat("  (b) GC correlations per benchmark", r.GC)
-	return b.String()
+	a := &artifact.Artifact{Name: "fig13", Title: "Fig 13: runtime-event correlations", Paper: "Fig. 13"}
+	a.Add(
+		artifact.NoteLine("header", "Fig 13: correlation of runtime events with counters (mean Pearson r over ASP.NET subset)"),
+		&artifact.Table{
+			Name: "means",
+			Columns: []artifact.Column{
+				{Name: "counter"}, {Name: "(a) JIT r"}, {Name: "(a) JIT ρ"},
+				{Name: "(b) GC r"}, {Name: "(b) GC ρ"}, {Name: "paper direction"},
+			},
+			Rows: rows,
+		},
+		heatmapTable("jit-heatmap", "  (a) JIT-start correlations per benchmark", r.JIT),
+		heatmapTable("gc-heatmap", "  (b) GC correlations per benchmark", r.GC),
+	)
+	return a
 }
+
+// String renders Fig 13.
+func (r *Figure13Result) String() string { return artifact.Text(r.Artifact()) }
 
 // GCConfigResult is one (GC mode, heap size) cell of Fig 14.
 type GCConfigResult struct {
@@ -218,7 +240,7 @@ type Figure14Result struct {
 var figure14Heaps = []int64{200, 2000, 20000}
 
 // Figure14 sweeps GC modes and heap sizes over the .NET subset.
-func Figure14(l *Lab) (*Figure14Result, error) {
+func Figure14(ctx context.Context, l *Lab) (*Figure14Result, error) {
 	out := &Figure14Result{Cells: map[string][]GCConfigResult{}}
 	names := TableIVDotNetSubset
 	if l.Cfg.Instructions <= 8000 {
@@ -235,6 +257,9 @@ func Figure14(l *Lab) (*Figure14Result, error) {
 		var cells []GCConfigResult
 		for _, mode := range []clr.GCMode{clr.Workstation, clr.Server} {
 			for _, heapMiB := range figure14Heaps {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				cell := GCConfigResult{Mode: mode, HeapMiB: heapMiB}
 				res, err := sim.Run(p, machine.CoreI9(), sim.Options{
 					// Long enough that workstation GC completes full
@@ -315,34 +340,63 @@ func ratio(a, b float64) float64 {
 	return a / b
 }
 
-// String renders Fig 14.
-func (r *Figure14Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 14: workstation vs server GC across max heap sizes\n")
-	header := []string{"benchmark", "mode", "heap MiB", "GC PKI", "LLC MPKI", "time (rel)"}
+// Artifact renders Fig 14: the per-cell table, the aggregate callout
+// lines, and a hidden aggregate table with the unrounded ratios.
+func (r *Figure14Result) Artifact() *artifact.Artifact {
 	names := make([]string, 0, len(r.Cells))
 	for name := range r.Cells {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var rows [][]string
+	var rows [][]artifact.Value
 	for _, name := range names {
 		for _, c := range r.Cells[name] {
 			if c.Failed {
-				rows = append(rows, []string{name, c.Mode.String(), fmt.Sprintf("%d", c.HeapMiB), "FAILED", "-", "-"})
+				rows = append(rows, []artifact.Value{
+					artifact.Str(name), artifact.Str(c.Mode.String()),
+					artifact.Num(fmt.Sprintf("%d", c.HeapMiB), float64(c.HeapMiB)),
+					artifact.Str("FAILED"), artifact.Str("-"), artifact.Str("-"),
+				})
 				continue
 			}
-			rows = append(rows, []string{
-				name, c.Mode.String(), fmt.Sprintf("%d", c.HeapMiB),
-				fmt.Sprintf("%.4f", c.GCPKI),
-				fmt.Sprintf("%.3f", c.LLCMPKI),
-				fmt.Sprintf("%.2f", c.Relative.Seconds),
+			rows = append(rows, []artifact.Value{
+				artifact.Str(name), artifact.Str(c.Mode.String()),
+				artifact.Num(fmt.Sprintf("%d", c.HeapMiB), float64(c.HeapMiB)),
+				artifact.Num(fmt.Sprintf("%.4f", c.GCPKI), c.GCPKI),
+				artifact.Num(fmt.Sprintf("%.3f", c.LLCMPKI), c.LLCMPKI),
+				artifact.Num(fmt.Sprintf("%.2f", c.Relative.Seconds), c.Relative.Seconds),
 			})
 		}
 	}
-	b.WriteString(textplot.Table("", header, rows))
-	fmt.Fprintf(&b, "  server/workstation GC triggers: %.2fx (paper: 6.18x)\n", r.ServerOverWorkstationGC)
-	fmt.Fprintf(&b, "  server/workstation LLC MPKI:    %.2fx (paper: 0.59x)\n", r.ServerOverWorkstationLLC)
-	fmt.Fprintf(&b, "  server speedup:                 %.2fx (paper: 1.14x)\n", r.ServerSpeedup)
-	return b.String()
+	a := &artifact.Artifact{Name: "fig14", Title: "Fig 14: workstation vs server GC", Paper: "Fig. 14"}
+	a.Add(
+		artifact.NoteLine("header", "Fig 14: workstation vs server GC across max heap sizes"),
+		&artifact.Table{
+			Name: "cells",
+			Columns: []artifact.Column{
+				{Name: "benchmark"}, {Name: "mode"}, {Name: "heap MiB", Unit: "MiB"},
+				{Name: "GC PKI"}, {Name: "LLC MPKI"}, {Name: "time (rel)"},
+			},
+			Rows: rows,
+		},
+		&artifact.Note{Name: "aggregates", Lines: []string{
+			fmt.Sprintf("  server/workstation GC triggers: %.2fx (paper: 6.18x)", r.ServerOverWorkstationGC),
+			fmt.Sprintf("  server/workstation LLC MPKI:    %.2fx (paper: 0.59x)", r.ServerOverWorkstationLLC),
+			fmt.Sprintf("  server speedup:                 %.2fx (paper: 1.14x)", r.ServerSpeedup),
+		}},
+		&artifact.Table{
+			Name:    "aggregates-data",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "ratio"}, {Name: "value", Unit: "x"}},
+			Rows: [][]artifact.Value{
+				{artifact.Str("server_over_workstation_gc_triggers"), artifact.Number(r.ServerOverWorkstationGC)},
+				{artifact.Str("server_over_workstation_llc_mpki"), artifact.Number(r.ServerOverWorkstationLLC)},
+				{artifact.Str("server_speedup"), artifact.Number(r.ServerSpeedup)},
+			},
+		},
+	)
+	return a
 }
+
+// String renders Fig 14.
+func (r *Figure14Result) String() string { return artifact.Text(r.Artifact()) }

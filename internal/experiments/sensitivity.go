@@ -1,16 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/textplot"
 	"repro/internal/workload"
 )
 
@@ -57,7 +57,7 @@ func sensitivityConfigs(base uint64) []struct {
 }
 
 // Sensitivity runs the robustness sweep over the Table IV subsets.
-func Sensitivity(l *Lab) (*SensitivityResult, error) {
+func Sensitivity(ctx context.Context, l *Lab) (*SensitivityResult, error) {
 	m := machine.CoreI9()
 	dnAll := workload.DotNetCategories()
 	aspAll := workload.AspNetWorkloads()
@@ -78,9 +78,18 @@ func Sensitivity(l *Lab) (*SensitivityResult, error) {
 
 	out := &SensitivityResult{}
 	for _, cfg := range sensitivityConfigs(l.Cfg.Instructions) {
-		dms := core.MeasureSuite(dn, m, cfg.opts)
-		ams := core.MeasureSuite(asp, m, cfg.opts)
-		sms := core.MeasureSuite(spec, m, cfg.opts)
+		dms, err := core.MeasureSuiteCtx(ctx, nil, dn, m, cfg.opts, l.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ams, err := core.MeasureSuiteCtx(ctx, nil, asp, m, cfg.opts, l.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		sms, err := core.MeasureSuiteCtx(ctx, nil, spec, m, cfg.opts, l.Cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
 
 		mean := func(ms []core.Measurement, id metrics.ID) float64 {
 			var xs []float64
@@ -147,27 +156,39 @@ func (r *SensitivityResult) AllHold() bool {
 	return true
 }
 
-// String renders the sweep.
-func (r *SensitivityResult) String() string {
-	var b strings.Builder
-	b.WriteString("Sensitivity: headline orderings across simulator configurations\n")
-	header := []string{"config", "kernel ordering", "LLC ordering", "FE ordering", "I-side ordering", "kernel gap (pp)", "SPEC/ASP.NET LLC"}
-	mark := func(ok bool) string {
+// Artifact renders the sweep: header plus the holds/FLIPS table.
+func (r *SensitivityResult) Artifact() *artifact.Artifact {
+	mark := func(ok bool) artifact.Value {
 		if ok {
-			return "holds"
+			return artifact.Str("holds")
 		}
-		return "FLIPS"
+		return artifact.Str("FLIPS")
 	}
-	var rows [][]string
+	var rows [][]artifact.Value
 	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.Config,
+		rows = append(rows, []artifact.Value{
+			artifact.Str(row.Config),
 			mark(row.KernelOrdering), mark(row.LLCOrdering),
 			mark(row.FEOrdering), mark(row.ISideOrdering),
-			fmt.Sprintf("%.1f", row.KernelGap),
-			fmt.Sprintf("%.1fx", row.LLCRatio),
+			artifact.Num(fmt.Sprintf("%.1f", row.KernelGap), row.KernelGap),
+			artifact.Num(fmt.Sprintf("%.1fx", row.LLCRatio), row.LLCRatio),
 		})
 	}
-	b.WriteString(textplot.Table("", header, rows))
-	return b.String()
+	a := &artifact.Artifact{Name: "sensitivity", Title: "Sensitivity: headline orderings across configurations", Paper: "robustness extension"}
+	a.Add(
+		artifact.NoteLine("header", "Sensitivity: headline orderings across simulator configurations"),
+		&artifact.Table{
+			Name: "orderings",
+			Columns: []artifact.Column{
+				{Name: "config"}, {Name: "kernel ordering"}, {Name: "LLC ordering"},
+				{Name: "FE ordering"}, {Name: "I-side ordering"},
+				{Name: "kernel gap (pp)", Unit: "pp"}, {Name: "SPEC/ASP.NET LLC", Unit: "x"},
+			},
+			Rows: rows,
+		},
+	)
+	return a
 }
+
+// String renders the sweep.
+func (r *SensitivityResult) String() string { return artifact.Text(r.Artifact()) }

@@ -1,16 +1,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/pca"
 	"repro/internal/subset"
-	"repro/internal/textplot"
 )
 
 // TableIIIResult reproduces Table III: the top loading factors of the
@@ -24,8 +26,11 @@ type TableIIIResult struct {
 }
 
 // TableIII runs the §IV-A metric-redundancy analysis on the .NET suite.
-func TableIII(l *Lab) (*TableIIIResult, error) {
-	ms := l.DotNetCategories(machine.CoreI9())
+func TableIII(ctx context.Context, l *Lab) (*TableIIIResult, error) {
+	ms, err := l.DotNetCategories(ctx, machine.CoreI9())
+	if err != nil {
+		return nil, err
+	}
 	ch, err := core.Characterize(ms, 4, cluster.Average)
 	if err != nil {
 		return nil, err
@@ -42,20 +47,53 @@ func TableIII(l *Lab) (*TableIIIResult, error) {
 	return res, nil
 }
 
-// String renders Table III.
-func (r *TableIIIResult) String() string {
-	var b strings.Builder
-	b.WriteString("Table III: loading factors of the top 3 metrics on the four principal components\n")
+// Artifact renders Table III: the prose loadings listing plus hidden
+// tables carrying the unrounded loadings and variance summary.
+func (r *TableIIIResult) Artifact() *artifact.Artifact {
+	lines := []string{"Table III: loading factors of the top 3 metrics on the four principal components"}
+	var loadRows [][]artifact.Value
 	for k, loads := range r.Components {
-		fmt.Fprintf(&b, "  PRCO%d (%.3f):\n", k+1, r.Variance[k])
+		lines = append(lines, fmt.Sprintf("  PRCO%d (%.3f):", k+1, r.Variance[k]))
 		for _, ld := range loads {
-			fmt.Fprintf(&b, "    %-32s %+.3f\n", ld.Metric, ld.Weight)
+			lines = append(lines, fmt.Sprintf("    %-32s %+.3f", ld.Metric, ld.Weight))
+			loadRows = append(loadRows, []artifact.Value{
+				artifact.Str(fmt.Sprintf("PRCO%d", k+1)),
+				artifact.Str(ld.Metric),
+				artifact.Number(ld.Weight),
+				artifact.Number(r.Variance[k]),
+			})
 		}
 	}
-	fmt.Fprintf(&b, "  top-4 cumulative variance: %.3f (paper: 0.79)\n", r.CumVariance4)
-	fmt.Fprintf(&b, "  Kaiser criterion (eigenvalue > 1): %d components\n", r.KaiserCount)
-	return b.String()
+	lines = append(lines,
+		fmt.Sprintf("  top-4 cumulative variance: %.3f (paper: 0.79)", r.CumVariance4),
+		fmt.Sprintf("  Kaiser criterion (eigenvalue > 1): %d components", r.KaiserCount),
+	)
+	a := &artifact.Artifact{Name: "table3", Title: "Table III: principal-component loading factors", Paper: "Table III"}
+	a.Add(
+		&artifact.Note{Name: "loadings", Lines: lines},
+		&artifact.Table{
+			Name:   "loadings-data",
+			Hidden: true,
+			Columns: []artifact.Column{
+				{Name: "component"}, {Name: "metric"}, {Name: "loading"}, {Name: "explained_variance"},
+			},
+			Rows: loadRows,
+		},
+		&artifact.Table{
+			Name:    "variance-data",
+			Hidden:  true,
+			Columns: []artifact.Column{{Name: "statistic"}, {Name: "value"}},
+			Rows: [][]artifact.Value{
+				{artifact.Str("top4_cumulative_variance"), artifact.Number(r.CumVariance4)},
+				{artifact.Str("kaiser_components"), artifact.Number(float64(r.KaiserCount))},
+			},
+		},
+	)
+	return a
 }
+
+// String renders Table III.
+func (r *TableIIIResult) String() string { return artifact.Text(r.Artifact()) }
 
 // TableIVResult reproduces Table IV: the representative 8-element subsets
 // of all three suites, with the paper-style one-line descriptions where
@@ -70,16 +108,28 @@ type TableIVResult struct {
 
 // TableIV derives representative subsets by clustering each suite in its
 // top-4-PC space and picking one medoid per cluster.
-func TableIV(l *Lab) (*TableIVResult, error) {
+func TableIV(ctx context.Context, l *Lab) (*TableIVResult, error) {
 	m := machine.CoreI9()
 	out := &TableIVResult{Descriptions: map[string]string{}}
+	cats, err := l.DotNetCategories(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	asp, err := l.AspNet(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := l.Spec(ctx, m)
+	if err != nil {
+		return nil, err
+	}
 	for _, s := range []struct {
 		ms   []core.Measurement
 		dest *[]string
 	}{
-		{l.DotNetCategories(m), &out.DotNet},
-		{l.AspNet(m), &out.AspNet},
-		{l.Spec(m), &out.Spec},
+		{cats, &out.DotNet},
+		{asp, &out.AspNet},
+		{spec, &out.Spec},
 	} {
 		ch, err := core.Characterize(s.ms, 4, cluster.Average)
 		if err != nil {
@@ -95,9 +145,8 @@ func TableIV(l *Lab) (*TableIVResult, error) {
 	return out, nil
 }
 
-// String renders Table IV.
-func (r *TableIVResult) String() string {
-	rows := make([][]string, 8)
+// Artifact renders Table IV as one table payload.
+func (r *TableIVResult) Artifact() *artifact.Artifact {
 	get := func(s []string, i int) string {
 		if i < len(s) {
 			return s[i]
@@ -110,12 +159,26 @@ func (r *TableIVResult) String() string {
 		}
 		return name
 	}
+	rows := make([][]artifact.Value, 8)
 	for i := range rows {
-		rows[i] = []string{describe(get(r.DotNet, i)), describe(get(r.AspNet, i)), get(r.Spec, i)}
+		rows[i] = []artifact.Value{
+			artifact.Str(describe(get(r.DotNet, i))),
+			artifact.Str(describe(get(r.AspNet, i))),
+			artifact.Str(get(r.Spec, i)),
+		}
 	}
-	return textplot.Table("Table IV: representative subsets (derived)",
-		[]string{".NET", "ASP.NET", "SPEC CPU17"}, rows)
+	a := &artifact.Artifact{Name: "table4", Title: "Table IV: representative subsets (derived)", Paper: "Table IV"}
+	a.Add(&artifact.Table{
+		Name:    "subsets",
+		Title:   "Table IV: representative subsets (derived)",
+		Columns: []artifact.Column{{Name: ".NET"}, {Name: "ASP.NET"}, {Name: "SPEC CPU17"}},
+		Rows:    rows,
+	})
+	return a
 }
+
+// String renders Table IV.
+func (r *TableIVResult) String() string { return artifact.Text(r.Artifact()) }
 
 // Figure1Result reproduces Fig 1: the dendrogram over the 44 .NET
 // categories.
@@ -126,8 +189,11 @@ type Figure1Result struct {
 }
 
 // Figure1 clusters the .NET categories and marks the 8-cut representatives.
-func Figure1(l *Lab) (*Figure1Result, error) {
-	ms := l.DotNetCategories(machine.CoreI9())
+func Figure1(ctx context.Context, l *Lab) (*Figure1Result, error) {
+	ms, err := l.DotNetCategories(ctx, machine.CoreI9())
+	if err != nil {
+		return nil, err
+	}
 	ch, err := core.Characterize(ms, 4, cluster.Average)
 	if err != nil {
 		return nil, err
@@ -145,11 +211,44 @@ func Figure1(l *Lab) (*Figure1Result, error) {
 	}, nil
 }
 
-// String renders Fig 1 as a text dendrogram.
-func (r *Figure1Result) String() string {
-	out := textplot.Dendrogram("Fig 1: .NET category similarity dendrogram", r.Dendrogram, r.Labels)
-	return out + "  8-cut representatives: " + strings.Join(r.Subset, ", ") + "\n"
+// treeNode converts a cluster node to the artifact tree model, resolving
+// leaf indices to labels ("leaf N" when a label is missing).
+func treeNode(n *cluster.Node, labels []string) *artifact.TreeNode {
+	if n == nil {
+		return nil
+	}
+	if n.IsLeaf() {
+		label := "leaf " + strconv.Itoa(n.Leaf)
+		if n.Leaf < len(labels) {
+			label = labels[n.Leaf]
+		}
+		return &artifact.TreeNode{Label: label, Size: 1}
+	}
+	return &artifact.TreeNode{
+		Distance: n.Distance,
+		Size:     n.Size,
+		Left:     treeNode(n.Left, labels),
+		Right:    treeNode(n.Right, labels),
+	}
 }
+
+// Artifact renders Fig 1: the dendrogram tree plus the representatives
+// line.
+func (r *Figure1Result) Artifact() *artifact.Artifact {
+	a := &artifact.Artifact{Name: "fig1", Title: "Fig 1: .NET category similarity dendrogram", Paper: "Fig. 1"}
+	a.Add(
+		&artifact.Tree{
+			Name:  "dendrogram",
+			Title: "Fig 1: .NET category similarity dendrogram",
+			Root:  treeNode(r.Dendrogram.Root, r.Labels),
+		},
+		artifact.NoteLine("representatives", "  8-cut representatives: "+strings.Join(r.Subset, ", ")),
+	)
+	return a
+}
+
+// String renders Fig 1 as a text dendrogram.
+func (r *Figure1Result) String() string { return artifact.Text(r.Artifact()) }
 
 // Figure2Result reproduces Fig 2: validation of the representative
 // subsets via SPECspeed-style composite scores (Xeon baseline, i9 as
@@ -161,12 +260,18 @@ type Figure2Result struct {
 }
 
 // Figure2 validates subsets A, B and A(o).
-func Figure2(l *Lab) (*Figure2Result, error) {
+func Figure2(ctx context.Context, l *Lab) (*Figure2Result, error) {
 	baseM, fastM := machine.XeonE5(), machine.CoreI9()
 
 	// --- Subset A: categories ---
-	baseCats := l.DotNetCategories(baseM)
-	fastCats := l.DotNetCategories(fastM)
+	baseCats, err := l.DotNetCategories(ctx, baseM)
+	if err != nil {
+		return nil, err
+	}
+	fastCats, err := l.DotNetCategories(ctx, fastM)
+	if err != nil {
+		return nil, err
+	}
 	scoresA, err := machineScores(baseCats, fastCats)
 	if err != nil {
 		return nil, err
@@ -183,8 +288,14 @@ func Figure2(l *Lab) (*Figure2Result, error) {
 	valAO.Name = "Subset A(o) (optimal)"
 
 	// --- Subset B: individual workloads ---
-	baseInd := l.DotNetIndividual(baseM)
-	fastInd := l.DotNetIndividual(fastM)
+	baseInd, err := l.DotNetIndividual(ctx, baseM)
+	if err != nil {
+		return nil, err
+	}
+	fastInd, err := l.DotNetIndividual(ctx, fastM)
+	if err != nil {
+		return nil, err
+	}
 	scoresB, err := machineScores(baseInd, fastInd)
 	if err != nil {
 		return nil, err
@@ -219,17 +330,29 @@ func machineScores(base, fast []core.Measurement) ([]float64, error) {
 	return subset.Scores(b2, f2)
 }
 
-// String renders Fig 2.
-func (r *Figure2Result) String() string {
-	rows := [][]string{}
+// Artifact renders Fig 2 as one validation table.
+func (r *Figure2Result) Artifact() *artifact.Artifact {
+	rows := [][]artifact.Value{}
 	for _, v := range []subset.Validation{r.SubsetA, r.SubsetB, r.SubsetAO} {
-		rows = append(rows, []string{
-			v.Name,
-			fmt.Sprintf("%.4f", v.FullComposite),
-			fmt.Sprintf("%.4f", v.SubsetComposite),
-			fmt.Sprintf("%.1f%%", v.AccuracyFraction*100),
+		rows = append(rows, []artifact.Value{
+			artifact.Str(v.Name),
+			artifact.Num(fmt.Sprintf("%.4f", v.FullComposite), v.FullComposite),
+			artifact.Num(fmt.Sprintf("%.4f", v.SubsetComposite), v.SubsetComposite),
+			artifact.Num(fmt.Sprintf("%.1f%%", v.AccuracyFraction*100), v.AccuracyFraction*100),
 		})
 	}
-	return textplot.Table("Fig 2: representative-subset validation (Xeon baseline vs i9)",
-		[]string{"subset", "full composite", "subset composite", "accuracy"}, rows)
+	a := &artifact.Artifact{Name: "fig2", Title: "Fig 2: representative-subset validation", Paper: "Fig. 2"}
+	a.Add(&artifact.Table{
+		Name:  "validation",
+		Title: "Fig 2: representative-subset validation (Xeon baseline vs i9)",
+		Columns: []artifact.Column{
+			{Name: "subset"}, {Name: "full composite"}, {Name: "subset composite"},
+			{Name: "accuracy", Unit: "%"},
+		},
+		Rows: rows,
+	})
+	return a
 }
+
+// String renders Fig 2.
+func (r *Figure2Result) String() string { return artifact.Text(r.Artifact()) }

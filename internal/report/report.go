@@ -92,12 +92,12 @@ func WriteCSV(w io.Writer, recs []MeasurementRecord) error {
 	for _, r := range recs {
 		row := []string{r.Workload, r.Suite, r.Category, r.Machine, strconv.Itoa(r.Cores), r.Error}
 		for _, id := range metrics.All() {
-			row = append(row, formatFloat(r.Metrics[id.Name()]))
+			row = append(row, FormatFloat(r.Metrics[id.Name()]))
 		}
 		if r.TopDown != nil {
 			row = append(row,
-				formatFloat(r.TopDown.Retiring), formatFloat(r.TopDown.BadSpeculation),
-				formatFloat(r.TopDown.FrontendBound), formatFloat(r.TopDown.BackendBound))
+				FormatFloat(r.TopDown.Retiring), FormatFloat(r.TopDown.BadSpeculation),
+				FormatFloat(r.TopDown.FrontendBound), FormatFloat(r.TopDown.BackendBound))
 		} else {
 			row = append(row, "", "", "", "")
 		}
@@ -109,7 +109,9 @@ func WriteCSV(w io.Writer, recs []MeasurementRecord) error {
 	return cw.Error()
 }
 
-func formatFloat(f float64) string {
+// FormatFloat is the canonical float rendering for structured exports,
+// shared by this package's CSV writers and internal/artifact's tidy CSV.
+func FormatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', 6, 64)
 }
 
@@ -160,8 +162,8 @@ func WriteSamplesCSV(w io.Writer, recs []SampleRecord) error {
 		if err := cw.Write([]string{
 			strconv.Itoa(r.Bin),
 			strconv.FormatUint(r.Instructions, 10),
-			formatFloat(r.Cycles),
-			formatFloat(r.IPC),
+			FormatFloat(r.Cycles),
+			FormatFloat(r.IPC),
 			strconv.FormatUint(r.BranchMisses, 10),
 			strconv.FormatUint(r.L1IMisses, 10),
 			strconv.FormatUint(r.LLCMisses, 10),

@@ -1,7 +1,8 @@
 // Package textplot renders the reproduction's tables and figures as plain
 // text: horizontal bar charts, stacked bars, two-dimensional scatter plots
-// and dendrograms. The CLI and the examples use it to print paper-style
-// output without any graphics dependency.
+// and heatmaps. The artifact renderers and the CLI use it to print
+// paper-style output without any graphics dependency. (Dendrograms are
+// rendered by internal/artifact from its own tree payload.)
 package textplot
 
 import (
@@ -9,8 +10,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-
-	"repro/internal/cluster"
 )
 
 // Bars renders a labeled horizontal bar chart. Values may be any
@@ -143,38 +142,6 @@ func Scatter(title string, points []ScatterPoint, rows, cols int) string {
 	for _, row := range grid {
 		fmt.Fprintf(&b, "  |%s|\n", string(row))
 	}
-	return b.String()
-}
-
-// Dendrogram renders the cluster tree with leaf labels, deepest merges
-// rightmost (Fig 1 style, rotated 90 degrees).
-func Dendrogram(title string, d *cluster.Dendrogram, labels []string) string {
-	var b strings.Builder
-	if title != "" {
-		fmt.Fprintf(&b, "%s\n", title)
-	}
-	maxDist := 0.0
-	for _, m := range d.Merges {
-		if m.Distance > maxDist {
-			maxDist = m.Distance
-		}
-	}
-	var walk func(n *cluster.Node, depth int)
-	walk = func(n *cluster.Node, depth int) {
-		indent := strings.Repeat("  ", depth)
-		if n.IsLeaf() {
-			label := fmt.Sprintf("leaf %d", n.Leaf)
-			if n.Leaf < len(labels) {
-				label = labels[n.Leaf]
-			}
-			fmt.Fprintf(&b, "  %s- %s\n", indent, label)
-			return
-		}
-		fmt.Fprintf(&b, "  %s+ merge@%.3f (%d leaves)\n", indent, n.Distance, n.Size)
-		walk(n.Left, depth+1)
-		walk(n.Right, depth+1)
-	}
-	walk(d.Root, 0)
 	return b.String()
 }
 

@@ -3,8 +3,6 @@ package textplot
 import (
 	"strings"
 	"testing"
-
-	"repro/internal/cluster"
 )
 
 func TestBars(t *testing.T) {
@@ -48,20 +46,6 @@ func TestScatter(t *testing.T) {
 	// Degenerate input must not panic.
 	_ = Scatter("", nil, 3, 3)
 	_ = Scatter("", []ScatterPoint{{1, 1, 'x'}}, 3, 3)
-}
-
-func TestDendrogramRender(t *testing.T) {
-	obs := [][]float64{{0}, {0.1}, {10}}
-	d, err := cluster.Agglomerate(obs, cluster.Average)
-	if err != nil {
-		t.Fatal(err)
-	}
-	out := Dendrogram("tree", d, []string{"x", "y", "z"})
-	for _, want := range []string{"tree", "x", "y", "z", "merge@"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("missing %q in %q", want, out)
-		}
-	}
 }
 
 func TestTable(t *testing.T) {

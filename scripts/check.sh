@@ -5,16 +5,25 @@
 #                gofmt-clean so their golden line numbers are stable)
 #   go vet       the stock toolchain checks
 #   charnet-vet  the repo's determinism-and-correctness lint suite
-#                (docs/ANALYSIS.md)
+#                (docs/ANALYSIS.md), including printbound: the experiments
+#                layer must emit artifacts, never print
 #   go test      all packages, race detector on
 #   trace smoke  charnet -trace-out on a real driver, validated by
 #                cmd/tracecheck, with stdout checked byte-identical to an
 #                untraced run (the observability determinism contract)
+#   render smoke charnet -full all diffed byte-for-byte against
+#                docs/full_output.txt (the artifact text renderer must
+#                reproduce the legacy renderings exactly), then the same
+#                drivers as -format json validated by cmd/artifactcheck;
+#                one shared -cache DIR keeps the second pass fast
 #
 # Tier-1 (go build + go test) is the floor; this script is the gate every
 # PR should pass.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
 
 echo "== gofmt"
 unformatted=$(gofmt -l .)
@@ -37,8 +46,8 @@ echo "== bench smoke (compile + one iteration)"
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
 
 echo "== trace smoke (charnet -trace-out + tracecheck + stdout equivalence)"
-tracedir=$(mktemp -d)
-trap 'rm -rf "$tracedir"' EXIT
+tracedir="$workdir/trace"
+mkdir -p "$tracedir"
 go run ./cmd/charnet -trace-out "$tracedir/trace.json" table4 > "$tracedir/traced.txt" 2> "$tracedir/profile.txt"
 go run ./cmd/charnet table4 > "$tracedir/plain.txt"
 if ! cmp -s "$tracedir/traced.txt" "$tracedir/plain.txt"; then
@@ -49,5 +58,19 @@ fi
 go run ./cmd/tracecheck "$tracedir/trace.json"
 grep -q "self-profile" "$tracedir/profile.txt" || {
     echo "missing self-profile on stderr" >&2; exit 1; }
+
+echo "== render smoke (-full all vs docs/full_output.txt, then -format json | artifactcheck)"
+renderdir="$workdir/render"
+mkdir -p "$renderdir"
+go build -o "$renderdir/charnet" ./cmd/charnet
+go build -o "$renderdir/artifactcheck" ./cmd/artifactcheck
+"$renderdir/charnet" -full -cache "$renderdir/mstore" all > "$renderdir/full.txt"
+if ! cmp -s "$renderdir/full.txt" docs/full_output.txt; then
+    echo "charnet -full all diverged from docs/full_output.txt:" >&2
+    diff docs/full_output.txt "$renderdir/full.txt" | head -40 >&2 || true
+    exit 1
+fi
+"$renderdir/charnet" -full -cache "$renderdir/mstore" -format json all > "$renderdir/full.json"
+"$renderdir/artifactcheck" < "$renderdir/full.json"
 
 echo "ok: all checks passed"
