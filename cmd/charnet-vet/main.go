@@ -11,19 +11,24 @@
 //
 // Usage:
 //
-//	charnet-vet [-list] [packages ...]
+//	charnet-vet [-list] [-json] [-unused-ignores] [-workers N] [packages ...]
 //
 // Packages are go list patterns (default ./...) resolved from the module
 // root; a plain directory path is analyzed directly, which is how the
-// fixture tests drive the tool.
+// fixture tests drive the tool. -json emits the findings as a single JSON
+// document (the archival format scripts/check.sh stores next to the trace
+// artifacts); -unused-ignores additionally reports //charnet:ignore
+// directives that no longer suppress anything, so stale suppressions fail
+// the gate instead of rotting into false documentation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -44,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	verbose := fs.Bool("v", false, "print type-check warnings to stderr")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON document")
+	unused := fs.Bool("unused-ignores", false, "also report //charnet:ignore directives that no longer suppress anything")
+	workers := fs.Int("workers", 0, "worker-pool size for parsing and per-package analysis (0 = auto)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -63,13 +71,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	targets, listPatterns, err := resolveTargets(moduleDir, patterns)
+	targets, listPatterns, err := analysis.ModuleTargets(moduleDir, patterns)
 	if err != nil {
 		outf(stderr, "charnet-vet: %v\n", err)
 		return 2
 	}
 
 	runner := analysis.NewRunner(moduleDir)
+	runner.Workers = *workers
 	if len(listPatterns) > 0 {
 		runner.Prewarm(listPatterns...)
 	}
@@ -78,24 +87,88 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outf(stderr, "charnet-vet: %v\n", err)
 		return 2
 	}
+	if *unused {
+		findings = append(findings, unusedFindings(runner.Unused)...)
+	}
 	if *verbose {
 		for _, w := range runner.TypeErrors {
 			outf(stderr, "charnet-vet: warning: %s\n", w)
 		}
 	}
 	cwd, _ := os.Getwd() //charnet:ignore errdiscard relative display paths are cosmetic
-	for _, f := range findings {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				f.Pos.Filename = rel
-			}
+	for i := range findings {
+		findings[i].Pos.Filename = displayPath(cwd, findings[i].Pos.Filename)
+	}
+	if *jsonOut {
+		writeJSON(stdout, findings)
+	} else {
+		for _, f := range findings {
+			outf(stdout, "%s\n", f)
 		}
-		outf(stdout, "%s\n", f)
 	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// unusedFindings converts stale directives into "ignore" findings; they
+// arrive sorted by file and line from the Runner.
+func unusedFindings(dirs []analysis.Directive) []analysis.Finding {
+	var out []analysis.Finding
+	for _, d := range dirs {
+		out = append(out, analysis.Finding{
+			Pos:      token.Position{Filename: d.File, Line: d.Line},
+			Analyzer: "ignore",
+			Message:  fmt.Sprintf("unused suppression: //charnet:ignore %s (%s) no longer matches any finding; delete it", d.Analyzer, d.Reason),
+		})
+	}
+	return out
+}
+
+// writeJSON renders the findings as one deterministic JSON document:
+//
+//	{"analyzers": [...], "findings": [{"file","line","analyzer","message"}, ...]}
+//
+// so scripts/check.sh can archive machine-readable lint results next to
+// the trace and bench artifacts.
+func writeJSON(w io.Writer, findings []analysis.Finding) {
+	type jsonFinding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	doc := struct {
+		Analyzers []string      `json:"analyzers"`
+		Findings  []jsonFinding `json:"findings"`
+	}{Findings: []jsonFinding{}}
+	for _, a := range analysis.All() {
+		doc.Analyzers = append(doc.Analyzers, a.Name)
+	}
+	for _, f := range findings {
+		doc.Findings = append(doc.Findings, jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc) //charnet:ignore errdiscard console output is best-effort
+}
+
+// displayPath relativizes an absolute finding path against the working
+// directory when that makes it shorter and still inside the tree.
+func displayPath(cwd, file string) string {
+	if cwd == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 // findModuleRoot walks up from the working directory to the enclosing
@@ -115,53 +188,4 @@ func findModuleRoot() (string, error) {
 		}
 		dir = parent
 	}
-}
-
-// resolveTargets turns CLI arguments into analysis targets. Existing
-// directories are taken as-is with a pseudo import path; everything else
-// goes through `go list`. The go list patterns are also returned so the
-// importer can prewarm its export-data cache in one subprocess.
-func resolveTargets(moduleDir string, patterns []string) ([]analysis.Target, []string, error) {
-	var targets []analysis.Target
-	var listArgs []string
-	for _, p := range patterns {
-		if info, err := os.Stat(p); err == nil && info.IsDir() {
-			abs, err := filepath.Abs(p)
-			if err != nil {
-				return nil, nil, err
-			}
-			targets = append(targets, analysis.Target{Dir: abs, Path: pseudoPath(moduleDir, abs)})
-			continue
-		}
-		listArgs = append(listArgs, p)
-	}
-	if len(listArgs) > 0 {
-		cmd := exec.Command("go", append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}", "--"}, listArgs...)...)
-		cmd.Dir = moduleDir
-		out, err := cmd.Output()
-		if err != nil {
-			return nil, nil, fmt.Errorf("go list %s: %v", strings.Join(listArgs, " "), err)
-		}
-		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
-			dir, path, ok := strings.Cut(line, "\t")
-			if ok && dir != "" {
-				targets = append(targets, analysis.Target{Dir: dir, Path: path})
-			}
-		}
-	}
-	return targets, listArgs, nil
-}
-
-// pseudoPath derives an import path for a bare directory: the part after
-// testdata/src/ when present (fixture convention), else the module-relative
-// path under the module name.
-func pseudoPath(moduleDir, dir string) string {
-	slashed := filepath.ToSlash(dir)
-	if _, after, ok := strings.Cut(slashed, "/testdata/src/"); ok {
-		return after
-	}
-	if rel, err := filepath.Rel(moduleDir, dir); err == nil && !strings.HasPrefix(rel, "..") {
-		return "repro/" + filepath.ToSlash(rel)
-	}
-	return filepath.Base(dir)
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 const fixtureRoot = "../../internal/analysis/testdata/src"
@@ -15,19 +18,31 @@ func runVet(t *testing.T, args ...string) (int, string, string) {
 	return code, out.String(), errOut.String()
 }
 
-func TestVetFindsFixtureViolations(t *testing.T) {
-	code, out, errOut := runVet(t, filepath.Join(fixtureRoot, "repro/internal/sim/nondetfix"))
+// TestVetFindsCrossPackageTaint drives the detertaint fixture through the
+// CLI: three bare directories loaded dependency-first, with the indirect
+// cross-package time.Now reported against the leaf file along with its
+// call chain.
+func TestVetFindsCrossPackageTaint(t *testing.T) {
+	code, out, errOut := runVet(t,
+		filepath.Join(fixtureRoot, "repro/dtfix/clock"),
+		filepath.Join(fixtureRoot, "repro/dtfix/measure"),
+		filepath.Join(fixtureRoot, "repro/dtfix/experiments"),
+	)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errOut)
 	}
 	for _, want := range []string{
-		"nondetfix.go:6: nondeterminism: import of math/rand",
-		"nondetfix.go:13: nondeterminism: time.Now",
-		"nondetfix.go:14: nondeterminism: time.Since",
+		"clock.go:7: detertaint: import of math/rand",
+		"clock.go:14: detertaint: time.Now is reachable from a deterministic root",
+		"dtfix/experiments.TableX → dtfix/measure.Sample → dtfix/clock.Stamp → time.Now",
+		"clock.go:19: detertaint: math/rand.Float64 is reachable",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "TableY") {
+		t.Errorf("clean driver TableY must not be flagged:\n%s", out)
 	}
 }
 
@@ -57,12 +72,75 @@ func TestVetSuppressionsApply(t *testing.T) {
 	}
 }
 
+// TestVetUnusedIgnores: the suppressfix fixture's wrong-analyzer directive
+// is valid but matches no maporder finding, so -unused-ignores reports it
+// as stale; without the flag it is silent.
+func TestVetUnusedIgnores(t *testing.T) {
+	dir := filepath.Join(fixtureRoot, "repro/internal/stats/suppressfix")
+	_, out, _ := runVet(t, dir)
+	if strings.Contains(out, "unused suppression") {
+		t.Fatalf("unused suppressions reported without the flag:\n%s", out)
+	}
+	code, out, _ := runVet(t, "-unused-ignores", dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out, "unused suppression: //charnet:ignore maporder") {
+		t.Errorf("missing stale-directive report:\n%s", out)
+	}
+}
+
+// TestVetJSON: the archival format is a single document with the analyzer
+// roster and structured findings.
+func TestVetJSON(t *testing.T) {
+	code, out, _ := runVet(t, "-json", filepath.Join(fixtureRoot, "repro/internal/stats/suppressfix"))
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var doc struct {
+		Analyzers []string `json:"analyzers"`
+		Findings  []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Analyzers) != len(analysis.All()) {
+		t.Errorf("analyzers = %v", doc.Analyzers)
+	}
+	floateq := 0
+	for _, f := range doc.Findings {
+		if f.Analyzer == "floateq" && f.Line > 0 && f.File != "" {
+			floateq++
+		}
+	}
+	if floateq != 3 {
+		t.Errorf("got %d structured floateq findings, want 3:\n%s", floateq, out)
+	}
+}
+
+// TestVetJSONCleanIsEmptyList: a clean run still emits a well-formed
+// document with an empty findings array, never null.
+func TestVetJSONCleanIsEmptyList(t *testing.T) {
+	code, out, _ := runVet(t, "-json", filepath.Join(fixtureRoot, "repro/internal/report/timeok"))
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, `"findings": []`) {
+		t.Errorf("clean JSON run should carry an empty findings list:\n%s", out)
+	}
+}
+
 func TestVetList(t *testing.T) {
 	code, out, _ := runVet(t, "-list")
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"nondeterminism", "maporder", "floateq", "zerorng", "errdiscard"} {
+	for _, name := range []string{"detertaint", "ctxflow", "gojoin", "maporder", "floateq", "zerorng", "errdiscard", "wallclock", "printbound"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-list output missing %s:\n%s", name, out)
 		}
@@ -70,10 +148,10 @@ func TestVetList(t *testing.T) {
 }
 
 func TestPseudoPath(t *testing.T) {
-	if got := pseudoPath("/m", "/m/internal/analysis/testdata/src/repro/internal/sim/x"); got != "repro/internal/sim/x" {
+	if got := analysis.PseudoPath("/m", "/m/internal/analysis/testdata/src/repro/internal/sim/x"); got != "repro/internal/sim/x" {
 		t.Errorf("testdata pseudo path = %q", got)
 	}
-	if got := pseudoPath("/m", "/m/internal/rng"); got != "repro/internal/rng" {
+	if got := analysis.PseudoPath("/m", "/m/internal/rng"); got != "repro/internal/rng" {
 		t.Errorf("module-relative pseudo path = %q", got)
 	}
 }

@@ -7,8 +7,14 @@
 // silently — map iteration order, time.Now, math/rand — so the invariants
 // are encoded as analyzers rather than left as tribal knowledge:
 //
-//   - nondeterminism: no math/rand or wall-clock reads inside simulation
-//     packages; all randomness flows through internal/rng
+//   - detertaint: a whole-program reachability proof that no registered
+//     driver's Run path (nor core.MeasureSuiteCtx) can reach a
+//     nondeterminism source — time.Now/Since, math/rand, os.Getenv —
+//     built on the cross-package call graph in callgraph.go
+//   - ctxflow: context discipline — context.Context is the first
+//     parameter, never a struct field, and Background/TODO stay in cmd/
+//   - gojoin: every go statement in internal/ has a visible join or
+//     cancellation path in its enclosing function
 //   - maporder: no map iteration that feeds output or accumulates
 //     order-sensitive state without sorting
 //   - floateq: no exact ==/!= between floats outside tests (exact
@@ -39,20 +45,27 @@ import (
 	"strings"
 )
 
-// An Analyzer checks one invariant over a type-checked package.
+// An Analyzer checks one invariant over a type-checked package, a whole
+// module, or both. Exactly one of Run and RunModule is usually set.
 type Analyzer struct {
 	// Name is the identifier used in findings and suppression comments.
 	Name string
 	// Doc is a one-line description of the invariant enforced.
 	Doc string
-	// Run inspects the pass and reports findings via pass.Reportf.
+	// Run inspects one package unit and reports findings via pass.Reportf.
 	Run func(*Pass)
+	// RunModule inspects every loaded unit at once — the hook for
+	// whole-program analyses like the detertaint call-graph walk. It runs
+	// after all per-unit passes, on a single goroutine.
+	RunModule func(*ModulePass)
 }
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
 	return []*Analyzer{
-		Nondeterminism,
+		DeterTaint,
+		CtxFlow,
+		GoJoin,
 		MapOrder,
 		FloatEq,
 		ZeroRNG,
@@ -111,6 +124,32 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // IsTestFile reports whether the file is a _test.go file.
 func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// A ModulePass carries every loaded unit through one whole-program
+// analyzer. Units appear in target order (external test units included,
+// carrying their ".test" path suffix); module analyzers are expected to
+// skip test units and test files themselves.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Units    []*Unit
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// isTestFile reports whether f was parsed from a _test.go file.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
 }
 
 // TypeOf returns the static type of e, or nil when type information is

@@ -1,30 +1,86 @@
 package analysis
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
-func TestNondeterminismFixture(t *testing.T) {
-	checkGolden(t, "nondeterminism", runFixture(t, "repro/internal/sim/nondetfix", Nondeterminism))
+// TestDeterTaintFixture: an indirect, cross-package time.Now (and
+// math/rand) call two hops below a registered driver is caught with its
+// full call chain, while the clean driver's path stays silent. The three
+// fixture targets are listed dependency-first so the pseudo packages can
+// import each other.
+func TestDeterTaintFixture(t *testing.T) {
+	checkGolden(t, "detertaint", runFixtureMulti(t, []string{
+		"repro/dtfix/clock",
+		"repro/dtfix/measure",
+		"repro/dtfix/experiments",
+	}, DeterTaint))
 }
 
-// TestNondeterminismUnrestricted: wall-clock reads outside the simulation
-// packages are not the analyzer's business.
-func TestNondeterminismUnrestricted(t *testing.T) {
-	if got := runFixture(t, "repro/internal/report/timeok", Nondeterminism); len(got) != 0 {
-		t.Fatalf("unexpected findings outside restricted packages: %v", got)
+// TestDeterTaintNoRoots: a lone package with wall-clock reads but no
+// registry in scope yields no detertaint findings — reachability needs a
+// root to start from.
+func TestDeterTaintNoRoots(t *testing.T) {
+	if got := runFixture(t, "repro/dtfix/clock", DeterTaint); len(got) != 0 {
+		t.Fatalf("unexpected findings without roots: %v", got)
 	}
 }
 
-func TestRestrictedPaths(t *testing.T) {
+// TestDeterTaintRealModule: the acceptance invariant — every registered
+// driver's Run path in the live module is provably free of
+// nondeterminism sources.
+func TestDeterTaintRealModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(moduleDir)
+	r.Analyzers = []*Analyzer{DeterTaint}
+	targets, patterns, err := ModuleTargets(moduleDir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Prewarm(patterns...)
+	findings, err := r.Run(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("driver Run paths are not clean: %v", findings)
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	checkGolden(t, "ctxflow", runFixture(t, "repro/internal/serve/ctxflowfix", CtxFlow))
+}
+
+// TestCtxFlowCmdExempt: cmd/ is where processes start; minting a root
+// context there is the blessed idiom.
+func TestCtxFlowCmdExempt(t *testing.T) {
+	if got := runFixture(t, "repro/cmd/ctxok", CtxFlow); len(got) != 0 {
+		t.Fatalf("unexpected findings under cmd/: %v", got)
+	}
+}
+
+func TestGoJoinFixture(t *testing.T) {
+	checkGolden(t, "gojoin", runFixture(t, "repro/internal/serve/gojoinfix", GoJoin))
+}
+
+// TestGoJoinOutsideInternal: the rule is scoped to the internal/ tree.
+func TestGoJoinScope(t *testing.T) {
 	for path, want := range map[string]bool{
-		"repro/internal/sim":           true,
-		"repro/internal/sim/nondetfix": true,
-		"repro/internal/sim.test":      true,
-		"repro/internal/simulator":     false, // prefix must stop at a path boundary
-		"repro/internal/report":        false,
-		"repro/internal/rng":           false,
+		"repro/internal/core":      true,
+		"repro/internal/core.test": true,
+		"repro/cmd/charnet":        false,
+		"internal/x":               true,
+		"repro/examples/scaling":   false,
 	} {
-		if got := restricted(path); got != want {
-			t.Errorf("restricted(%q) = %v, want %v", path, got, want)
+		if got := gojoinApplies(path); got != want {
+			t.Errorf("gojoinApplies(%q) = %v, want %v", path, got, want)
 		}
 	}
 }

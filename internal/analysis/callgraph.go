@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the cross-package call-graph engine behind the
+// whole-program analyzers (detertaint). It builds conservative function
+// summaries from the type-checked ASTs of every loaded unit:
+//
+//   - static calls and method calls resolve to their *types.Func, keyed by
+//     a stable cross-package ID (types.Func.FullName), so a call site in
+//     one package links to the summary built from another package's AST;
+//   - calls through an interface fan out to the matching method of every
+//     non-generic concrete type declared in the loaded units whose pointer
+//     type implements the interface (an implements-based
+//     over-approximation of dynamic dispatch);
+//   - a function value that is referenced without being called (passed,
+//     stored, returned) gets a "ref" edge from the referencing function,
+//     so anything that escapes as a value is treated as callable from the
+//     point of escape — the conservative stand-in for tracking dynamic
+//     call sites;
+//   - function literals become child nodes (parent$1, parent$2, ... in
+//     source order) with an edge from the enclosing function, covering go
+//     statements, defers and callbacks handed to external code.
+//
+// Soundness caveats (documented in docs/ANALYSIS.md): reflection,
+// package-level variable initializers, and callbacks invoked inside
+// external (no-body) functions are not traversed; interface fan-out
+// over-approximates, never under-approximates, within the loaded units.
+
+// EdgeKind classifies how a call-graph edge was derived.
+type EdgeKind string
+
+const (
+	// EdgeStatic is a direct call to a known function or concrete method.
+	EdgeStatic EdgeKind = "call"
+	// EdgeInterface is one fan-out branch of an interface method call.
+	EdgeInterface EdgeKind = "iface"
+	// EdgeRef marks a function value referenced without being called.
+	EdgeRef EdgeKind = "ref"
+)
+
+// A Node is one function in the call graph. External functions (imported
+// packages, stdlib) appear as body-less leaf nodes.
+type Node struct {
+	// ID is the stable cross-package identifier: "pkg/path.Func",
+	// "(pkg/path.T).M", "(*pkg/path.T).M", or "parentID$n" for literals.
+	ID      string
+	PkgPath string
+	Name    string
+	Pos     token.Pos // definition site; NoPos for external functions
+	HasBody bool
+	Edges   []Edge // outgoing, in source order
+}
+
+// An Edge is one call or reference from a node to a callee.
+type Edge struct {
+	Callee *Node
+	Pos    token.Pos // call or reference site
+	Kind   EdgeKind
+}
+
+// A CallGraph is the whole-program graph over every loaded unit.
+type CallGraph struct {
+	Nodes map[string]*Node
+	fset  *token.FileSet
+}
+
+// Node returns the node with the given ID, or nil.
+func (g *CallGraph) Node(id string) *Node { return g.Nodes[id] }
+
+// funcID derives the stable identifier for fn, normalizing generic
+// instantiations back to their origin.
+func funcID(fn *types.Func) string {
+	return fn.Origin().FullName()
+}
+
+// funcPkgPath returns the defining package path of fn ("" for universe
+// functions like error.Error).
+func funcPkgPath(fn *types.Func) string {
+	if p := fn.Origin().Pkg(); p != nil {
+		return p.Path()
+	}
+	return ""
+}
+
+// BuildCallGraph summarizes every non-test function of the units into one
+// graph. External test units (".test" path suffix) and _test.go files are
+// excluded: the graph models the shipped program.
+func BuildCallGraph(fset *token.FileSet, units []*Unit) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*Node{}, fset: fset}
+	b := &graphBuilder{g: g}
+	for _, u := range units {
+		if strings.HasSuffix(u.Path, ".test") {
+			continue
+		}
+		b.collectConcreteTypes(u)
+	}
+	for _, u := range units {
+		if strings.HasSuffix(u.Path, ".test") {
+			continue
+		}
+		for _, f := range u.Files {
+			if isTestFile(fset, f) {
+				continue
+			}
+			b.addFile(u, f)
+		}
+	}
+	return g
+}
+
+type graphBuilder struct {
+	g *CallGraph
+	// concrete holds the named non-interface, non-generic types declared in
+	// the loaded units, sorted by full name for deterministic fan-out.
+	concrete []*types.Named
+}
+
+func (b *graphBuilder) collectConcreteTypes(u *Unit) {
+	if u.Pkg == nil {
+		return
+	}
+	scope := u.Pkg.Scope()
+	for _, name := range scope.Names() { // Names() is sorted
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams().Len() > 0 {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		b.concrete = append(b.concrete, named)
+	}
+	sort.Slice(b.concrete, func(i, j int) bool {
+		return b.concrete[i].String() < b.concrete[j].String()
+	})
+}
+
+func (b *graphBuilder) node(id, pkgPath, name string, pos token.Pos, hasBody bool) *Node {
+	n := b.g.Nodes[id]
+	if n == nil {
+		n = &Node{ID: id, PkgPath: pkgPath, Name: name}
+		b.g.Nodes[id] = n
+	}
+	if hasBody {
+		n.HasBody = true
+		n.Pos = pos
+	}
+	return n
+}
+
+func (b *graphBuilder) funcNode(fn *types.Func, hasBody bool, pos token.Pos) *Node {
+	return b.node(funcID(fn), funcPkgPath(fn), fn.Name(), pos, hasBody)
+}
+
+func (b *graphBuilder) addFile(u *Unit, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn, _ := u.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		n := b.funcNode(fn, true, fd.Pos())
+		b.walkBody(u, n, fd.Body)
+	}
+}
+
+// walkBody scans one function body, attributing edges to n. Nested
+// function literals become child nodes and are walked recursively;
+// everything else in the subtree belongs to n.
+func (b *graphBuilder) walkBody(u *Unit, n *Node, body ast.Node) {
+	// callFun marks expressions appearing in call position so the
+	// reference walk below does not double-count them as escaping values;
+	// consumed marks Sel identifiers already handled at their selector.
+	callFun := map[ast.Expr]bool{}
+	consumed := map[*ast.Ident]bool{}
+	lits := 0
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			lits++
+			child := b.node(fmt.Sprintf("%s$%d", n.ID, lits), n.PkgPath, n.Name, v.Pos(), true)
+			n.Edges = append(n.Edges, Edge{Callee: child, Pos: v.Pos(), Kind: EdgeStatic})
+			b.walkBody(u, child, v.Body)
+			return false // the recursive walk owns the literal's subtree
+		case *ast.CallExpr:
+			fun := unparenUninstantiate(v.Fun)
+			callFun[fun] = true
+			if fn := calleeFunc(u.Info, fun); fn != nil {
+				b.addCallee(u, n, fn, v.Pos(), EdgeStatic)
+			}
+			return true
+		case *ast.SelectorExpr:
+			consumed[v.Sel] = true
+			if callFun[v] {
+				return true
+			}
+			if fn, ok := u.Info.Uses[v.Sel].(*types.Func); ok {
+				b.addCallee(u, n, fn, v.Pos(), EdgeRef)
+			}
+			return true
+		case *ast.Ident:
+			if callFun[v] || consumed[v] {
+				return true
+			}
+			if fn, ok := u.Info.Uses[v].(*types.Func); ok {
+				b.addCallee(u, n, fn, v.Pos(), EdgeRef)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// addCallee links n to fn, fanning an interface method out to every
+// concrete implementation declared in the loaded units.
+func (b *graphBuilder) addCallee(u *Unit, n *Node, fn *types.Func, pos token.Pos, kind EdgeKind) {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			n.Edges = append(n.Edges, Edge{Callee: b.funcNode(fn, false, token.NoPos), Pos: pos, Kind: kind})
+			b.fanOut(n, iface, fn, pos)
+			return
+		}
+	}
+	n.Edges = append(n.Edges, Edge{Callee: b.funcNode(fn, false, token.NoPos), Pos: pos, Kind: kind})
+}
+
+// fanOut adds one EdgeInterface branch per concrete type implementing
+// iface, targeting that type's implementation of method fn.
+func (b *graphBuilder) fanOut(n *Node, iface *types.Interface, fn *types.Func, pos token.Pos) {
+	for _, named := range b.concrete {
+		ptr := types.NewPointer(named)
+		if !types.Implements(ptr, iface) {
+			continue
+		}
+		sel := types.NewMethodSet(ptr).Lookup(fn.Pkg(), fn.Name())
+		if sel == nil {
+			continue
+		}
+		impl, ok := sel.Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		n.Edges = append(n.Edges, Edge{Callee: b.funcNode(impl, false, token.NoPos), Pos: pos, Kind: EdgeInterface})
+	}
+}
+
+// unparenUninstantiate peels parentheses and explicit generic
+// instantiation from a call's Fun expression.
+func unparenUninstantiate(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			// f[T](...) — but also plain indexing m[k](); calleeFunc sorts
+			// it out (map elements are not *types.Func uses).
+			e = v.X
+		case *ast.IndexListExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// calleeFunc resolves a call's Fun expression to the *types.Func it
+// statically names, or nil for dynamic calls, conversions and builtins.
+func calleeFunc(info *types.Info, fun ast.Expr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch v := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[v].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[v.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// A ReachResult is one BFS over the graph: every visited node with the
+// edge that first discovered it, so any reached function can be explained
+// by a concrete call chain from a root.
+type ReachResult struct {
+	// Order lists visited node IDs in BFS order (roots first).
+	Order []string
+	// parent maps a visited node ID to the edge that discovered it;
+	// roots are absent.
+	parent map[string]parentLink
+}
+
+type parentLink struct {
+	caller string
+	pos    token.Pos
+}
+
+// Reached reports whether id was visited.
+func (r *ReachResult) Reached(id string) bool {
+	if r.parent == nil {
+		return false
+	}
+	_, ok := r.parent[id]
+	return ok
+}
+
+// Chain returns the discovery path root → ... → id (IDs, root first), or
+// nil if id was not reached.
+func (r *ReachResult) Chain(id string) []string {
+	link, ok := r.parent[id]
+	if !ok {
+		return nil
+	}
+	var rev []string
+	for {
+		rev = append(rev, id)
+		if link.caller == "" {
+			break
+		}
+		id = link.caller
+		link = r.parent[id]
+	}
+	out := make([]string, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// Reach runs a BFS from roots (deduplicated, in the given order). barrier,
+// if non-nil, stops expansion: a barrier node is visited but its edges are
+// not followed — how detertaint treats internal/obs, which owns the
+// injectable clock.
+func (g *CallGraph) Reach(roots []string, barrier func(*Node) bool) *ReachResult {
+	res := &ReachResult{parent: map[string]parentLink{}}
+	var queue []string
+	for _, id := range roots {
+		if _, seen := res.parent[id]; seen || g.Nodes[id] == nil {
+			continue
+		}
+		res.parent[id] = parentLink{}
+		queue = append(queue, id)
+	}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, id)
+		n := g.Nodes[id]
+		if !n.HasBody || (barrier != nil && barrier(n)) {
+			continue
+		}
+		for _, e := range n.Edges {
+			if _, seen := res.parent[e.Callee.ID]; seen {
+				continue
+			}
+			res.parent[e.Callee.ID] = parentLink{caller: id, pos: e.Pos}
+			queue = append(queue, e.Callee.ID)
+		}
+	}
+	return res
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadCgfix loads the call-graph fixture and builds its graph.
+func loadCgfix(t *testing.T) *CallGraph {
+	t.Helper()
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(moduleDir)
+	units, err := r.loadAll([]Target{{
+		Dir:  filepath.Join("testdata", "src", "repro/internal/cgfix"),
+		Path: "repro/internal/cgfix",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.TypeErrors) > 0 {
+		t.Fatalf("fixture has type errors: %v", r.TypeErrors)
+	}
+	return BuildCallGraph(r.fset, units)
+}
+
+// edges returns the callee IDs of node id filtered by kind ("" = all).
+func edges(t *testing.T, g *CallGraph, id string, kind EdgeKind) []string {
+	t.Helper()
+	n := g.Node(id)
+	if n == nil {
+		var ids []string
+		for k := range g.Nodes {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		t.Fatalf("no node %q; have %v", id, ids)
+	}
+	var out []string
+	for _, e := range n.Edges {
+		if kind == "" || e.Kind == kind {
+			out = append(out, e.Callee.ID)
+		}
+	}
+	return out
+}
+
+func has(list []string, want string) bool {
+	for _, s := range list {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+const cg = "repro/internal/cgfix"
+
+// TestCallGraphInterfaceDispatch: a call through an interface fans out to
+// every concrete implementation in the loaded units.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadCgfix(t)
+	fan := edges(t, g, cg+".CallViaIface", EdgeInterface)
+	for _, want := range []string{"(" + cg + ".A).Do", "(*" + cg + ".B).Do"} {
+		if !has(fan, want) {
+			t.Errorf("interface fan-out missing %s: %v", want, fan)
+		}
+	}
+	// And each implementation's static callee is linked cross-method.
+	if got := edges(t, g, "("+cg+".A).Do", EdgeStatic); !has(got, cg+".helperA") {
+		t.Errorf("(A).Do static edges = %v, want helperA", got)
+	}
+}
+
+// TestCallGraphFunctionValueEdge: a function referenced without being
+// called escapes as a ref edge.
+func TestCallGraphFunctionValueEdge(t *testing.T) {
+	g := loadCgfix(t)
+	if got := edges(t, g, cg+".TakeValue", EdgeRef); !has(got, cg+".helperC") {
+		t.Errorf("TakeValue ref edges = %v, want helperC", got)
+	}
+	// Dynamic calls through a parameter add no spurious static edge.
+	if got := edges(t, g, cg+".Dynamic", ""); len(got) != 0 {
+		t.Errorf("Dynamic should have no edges, got %v", got)
+	}
+}
+
+// TestCallGraphLiteralChild: function literals become child nodes with an
+// edge from the parent, and their calls are attributed to the child.
+func TestCallGraphLiteralChild(t *testing.T) {
+	g := loadCgfix(t)
+	if got := edges(t, g, cg+".SpawnLit", EdgeStatic); !has(got, cg+".SpawnLit$1") {
+		t.Errorf("SpawnLit edges = %v, want child literal", got)
+	}
+	if got := edges(t, g, cg+".SpawnLit$1", EdgeStatic); !has(got, cg+".helperB") {
+		t.Errorf("SpawnLit$1 edges = %v, want helperB", got)
+	}
+}
+
+// TestCallGraphReachChain: BFS reachability explains any reached function
+// with a concrete root-first chain.
+func TestCallGraphReachChain(t *testing.T) {
+	g := loadCgfix(t)
+	reach := g.Reach([]string{cg + ".CallViaIface"}, nil)
+	if !reach.Reached(cg + ".helperB") {
+		t.Fatalf("helperB not reached through interface dispatch; order=%v", reach.Order)
+	}
+	chain := reach.Chain(cg + ".helperB")
+	want := []string{cg + ".CallViaIface", "(*" + cg + ".B).Do", cg + ".helperB"}
+	if strings.Join(chain, "|") != strings.Join(want, "|") {
+		t.Errorf("chain = %v, want %v", chain, want)
+	}
+	if reach.Reached(cg + ".helperC") {
+		t.Error("helperC should be unreachable from CallViaIface")
+	}
+}

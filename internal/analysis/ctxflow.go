@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces the context discipline the serving phase depends on:
+//
+//   - context.Context is always the first parameter (after any receiver),
+//     so cancellation visibly flows down every call path;
+//   - a Context is never stored in a struct field — stored contexts
+//     outlive their request and silently detach work from cancellation;
+//   - context.Background()/context.TODO() are forbidden outside cmd/ and
+//     test files: only process entry points may mint root contexts,
+//     everything else must accept one from its caller.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context first parameter, never a struct field; Background/TODO only in cmd/ and tests",
+	Run:  runCtxFlow,
+}
+
+// ctxflowRootExempt reports whether path may mint root contexts: the cmd/
+// subtree, where processes start.
+func ctxflowRootExempt(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				pass.checkCtxParams(v.Type)
+			case *ast.FuncLit:
+				pass.checkCtxParams(v.Type)
+			case *ast.StructType:
+				for _, field := range v.Fields.List {
+					if t := pass.TypeOf(field.Type); t != nil && isContextType(t) {
+						pass.Reportf(field.Pos(), "context.Context stored in a struct field: a stored context outlives its request and detaches work from cancellation; pass it as the first parameter instead")
+					}
+				}
+			case *ast.CallExpr:
+				if name, ok := pass.pkgCall(v, "context", "Background", "TODO"); ok && !ctxflowRootExempt(pass.Path) {
+					pass.Reportf(v.Pos(), "context.%s outside cmd/: only process entry points mint root contexts; accept a ctx from the caller instead", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports context.Context parameters that are not the
+// first parameter.
+func (p *Pass) checkCtxParams(ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		isCtx := false
+		if t := p.TypeOf(field.Type); t != nil && isContextType(t) {
+			isCtx = true
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && pos > 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter so cancellation visibly flows down the call path")
+		}
+		pos += n
+	}
+}

@@ -7,9 +7,12 @@ import (
 	"go/token"
 	"go/types"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Target is one directory to analyze, with the import path its findings
@@ -20,29 +23,58 @@ type Target struct {
 	Path string
 }
 
+// A Unit is one type-checked set of files: a package proper together with
+// its in-package tests, or the external _test package (whose Path carries
+// a ".test" suffix).
+type Unit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
 // A Runner loads, type-checks and analyzes targets. It is not safe for
-// concurrent use; the import cache and FileSet are shared across targets.
+// concurrent use; one Run call parallelizes internally.
 type Runner struct {
 	ModuleDir string
 	Analyzers []*Analyzer
+	// Workers bounds the worker pool used for parsing and per-package
+	// analysis (<=0 selects a default). Type-checking is sequential in
+	// target order — that is what lets a fixture package import an
+	// earlier fixture target — and whole-module analyzers run last on a
+	// single goroutine, so findings are deterministic for any Workers.
+	Workers int
 
 	fset *token.FileSet
 	imp  types.Importer
+	// srcPkgs registers source-checked packages as an import fallback for
+	// paths with no export data (fixture pseudo paths).
+	srcPkgs map[string]*types.Package
 	// TypeErrors collects non-fatal type-check diagnostics per target, for
 	// surfacing as warnings (missing type info weakens analyzers).
 	TypeErrors []string
+	// Unused is populated by Run: valid suppression directives, for
+	// analyzers enabled in that run, that matched no finding. Stale
+	// directives rot into false documentation, so charnet-vet
+	// -unused-ignores reports them.
+	Unused []Directive
 }
 
 // NewRunner returns a Runner over the module rooted at moduleDir using the
 // full analyzer suite.
 func NewRunner(moduleDir string) *Runner {
 	fset := token.NewFileSet()
-	return &Runner{
+	r := &Runner{
 		ModuleDir: moduleDir,
 		Analyzers: All(),
 		fset:      fset,
-		imp:       NewImporter(fset, moduleDir),
+		srcPkgs:   map[string]*types.Package{},
 	}
+	r.imp = NewImporter(fset, moduleDir)
+	if e, ok := r.imp.(*exportImporter); ok {
+		e.fallback = func(path string) *types.Package { return r.srcPkgs[path] }
+	}
+	return r
 }
 
 // Prewarm batch-resolves export data for the given go list patterns.
@@ -52,20 +84,102 @@ func (r *Runner) Prewarm(patterns ...string) {
 	}
 }
 
+// workers resolves the effective pool size.
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Run analyzes every target and returns the surviving findings, sorted by
 // file, line and analyzer. Suppressed findings are dropped; malformed
-// suppression directives are reported as "ignore" findings.
+// suppression directives are reported as "ignore" findings; directives
+// that suppressed nothing are recorded in r.Unused.
 func (r *Runner) Run(targets []Target) ([]Finding, error) {
-	var all []Finding
-	for _, t := range targets {
-		fs, err := r.runTarget(t)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, fs...)
+	units, err := r.loadAll(targets)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
+
+	// Per-unit analyzers fan out over a bounded pool; each unit appends
+	// into its own slot, so no ordering is lost to scheduling.
+	rawPer := make([][]Finding, len(units))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	for i, u := range units {
+		wg.Add(1)
+		go func(i int, u *Unit) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, a := range r.Analyzers {
+				if a.Run == nil {
+					continue
+				}
+				pass := &Pass{
+					Analyzer: a,
+					Path:     u.Path,
+					Fset:     r.fset,
+					Files:    u.Files,
+					Pkg:      u.Pkg,
+					Info:     u.Info,
+					findings: &rawPer[i],
+				}
+				a.Run(pass)
+			}
+		}(i, u)
+	}
+	wg.Wait()
+
+	var raw []Finding
+	for _, fs := range rawPer {
+		raw = append(raw, fs...)
+	}
+	// Whole-module analyzers see every unit at once, after the per-unit
+	// phase, on one goroutine.
+	for _, a := range r.Analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Fset: r.fset, Units: units, findings: &raw})
+	}
+
+	// Directives are validated against the full suite, not just the
+	// analyzers this run enabled: a file legitimately suppressing
+	// analyzer A must not read as "unknown analyzer" to a run that only
+	// enabled analyzer B. Suppression is applied globally so directives
+	// also cover whole-module findings.
+	var dirs []Directive
+	for _, u := range units {
+		dirs = append(dirs, parseDirectives(r.fset, u.Files, knownAnalyzers(All()))...)
+	}
+	out, used := applySuppressions(raw, dirs)
+
+	enabled := knownAnalyzers(r.Analyzers)
+	r.Unused = nil
+	for i, d := range dirs {
+		if d.Err == "" && !used[i] && enabled[d.Analyzer] {
+			r.Unused = append(r.Unused, d)
+		}
+	}
+	sort.Slice(r.Unused, func(i, j int) bool {
+		a, b := r.Unused[i], r.Unused[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -77,99 +191,145 @@ func (r *Runner) Run(targets []Target) ([]Finding, error) {
 		}
 		return a.Message < b.Message
 	})
-	return all, nil
-}
-
-// runTarget analyzes the package units in one directory.
-func (r *Runner) runTarget(t Target) ([]Finding, error) {
-	units, err := r.load(t)
-	if err != nil {
-		return nil, err
-	}
-	var out []Finding
-	for _, u := range units {
-		var raw []Finding
-		for _, a := range r.Analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Path:     t.Path,
-				Fset:     r.fset,
-				Files:    u.files,
-				Pkg:      u.pkg,
-				Info:     u.info,
-				findings: &raw,
-			}
-			a.Run(pass)
-		}
-		// Directives are validated against the full suite, not just the
-		// analyzers this run enabled: a file legitimately suppressing
-		// analyzer A must not read as "unknown analyzer" to a run that only
-		// enabled analyzer B.
-		dirs := parseDirectives(r.fset, u.files, knownAnalyzers(All()))
-		out = append(out, applySuppressions(raw, dirs)...)
-	}
 	return out, nil
 }
 
-// unit is one type-checked set of files: the package proper together with
-// its in-package tests, or the external _test package.
-type unit struct {
-	files []*ast.File
-	pkg   *types.Package
-	info  *types.Info
+// parsedTarget holds one target's files grouped by package clause.
+type parsedTarget struct {
+	byPkg    map[string][]*ast.File
+	pkgNames []string
+	err      error
 }
 
-// load parses the .go files of t.Dir and type-checks them as up to two
-// units (package + external test package). Type errors are tolerated —
-// analyzers degrade gracefully on missing info — but are recorded in
-// r.TypeErrors.
-func (r *Runner) load(t Target) ([]*unit, error) {
+// loadAll parses every target concurrently, then type-checks them
+// sequentially in target order, registering each checked package as an
+// import fallback for later targets (how cross-package fixtures resolve).
+func (r *Runner) loadAll(targets []Target) ([]*Unit, error) {
+	parsed := make([]parsedTarget, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, r.workers())
+	for i, t := range targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsed[i] = r.parseTarget(t)
+		}(i, t)
+	}
+	wg.Wait()
+
+	var units []*Unit
+	for i, t := range targets {
+		p := parsed[i]
+		if p.err != nil {
+			return nil, p.err
+		}
+		for _, name := range p.pkgNames {
+			path := t.Path
+			if strings.HasSuffix(name, "_test") {
+				path += ".test"
+			}
+			files := p.byPkg[name]
+			info := &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Implicits:  map[ast.Node]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+			conf := types.Config{
+				Importer:    r.imp,
+				FakeImportC: true,
+				Error: func(err error) {
+					r.TypeErrors = append(r.TypeErrors, fmt.Sprintf("%s: %v", t.Path, err))
+				},
+			}
+			pkg, _ := conf.Check(path, r.fset, files, info) //charnet:ignore errdiscard type errors are collected via conf.Error; partial packages are expected
+			if pkg != nil && path == t.Path {
+				r.srcPkgs[path] = pkg
+			}
+			units = append(units, &Unit{Path: path, Files: files, Pkg: pkg, Info: info})
+		}
+	}
+	return units, nil
+}
+
+// parseTarget parses the .go files of one directory, grouped by package
+// clause (package proper vs external _test package).
+func (r *Runner) parseTarget(t Target) parsedTarget {
+	p := parsedTarget{byPkg: map[string][]*ast.File{}}
 	entries, err := os.ReadDir(t.Dir)
 	if err != nil {
-		return nil, err
+		p.err = err
+		return p
 	}
-	byPkg := map[string][]*ast.File{}
-	var pkgNames []string
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
 		f, err := parser.ParseFile(r.fset, filepath.Join(t.Dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: %v", err)
+			p.err = fmt.Errorf("analysis: %v", err)
+			return p
 		}
 		name := f.Name.Name
-		if _, seen := byPkg[name]; !seen {
-			pkgNames = append(pkgNames, name)
+		if _, seen := p.byPkg[name]; !seen {
+			p.pkgNames = append(p.pkgNames, name)
 		}
-		byPkg[name] = append(byPkg[name], f)
+		p.byPkg[name] = append(p.byPkg[name], f)
 	}
-	sort.Strings(pkgNames)
+	sort.Strings(p.pkgNames)
+	return p
+}
 
-	var units []*unit
-	for _, name := range pkgNames {
-		path := t.Path
-		if strings.HasSuffix(name, "_test") {
-			path += ".test"
+// ModuleTargets turns CLI arguments into analysis targets. Existing
+// directories are taken as-is with a pseudo import path; everything else
+// goes through `go list`. The go list patterns are also returned so the
+// importer can prewarm its export-data cache in one subprocess.
+func ModuleTargets(moduleDir string, patterns []string) ([]Target, []string, error) {
+	var targets []Target
+	var listArgs []string
+	for _, p := range patterns {
+		if info, err := os.Stat(p); err == nil && info.IsDir() {
+			abs, err := filepath.Abs(p)
+			if err != nil {
+				return nil, nil, err
+			}
+			targets = append(targets, Target{Dir: abs, Path: PseudoPath(moduleDir, abs)})
+			continue
 		}
-		files := byPkg[name]
-		info := &types.Info{
-			Types:     map[ast.Expr]types.TypeAndValue{},
-			Uses:      map[*ast.Ident]types.Object{},
-			Defs:      map[*ast.Ident]types.Object{},
-			Implicits: map[ast.Node]types.Object{},
-		}
-		conf := types.Config{
-			Importer:    r.imp,
-			FakeImportC: true,
-			Error: func(err error) {
-				r.TypeErrors = append(r.TypeErrors, fmt.Sprintf("%s: %v", t.Path, err))
-			},
-		}
-		pkg, _ := conf.Check(path, r.fset, files, info) //charnet:ignore errdiscard type errors are collected via conf.Error; partial packages are expected
-		units = append(units, &unit{files: files, pkg: pkg, info: info})
+		listArgs = append(listArgs, p)
 	}
-	return units, nil
+	if len(listArgs) > 0 {
+		cmd := exec.Command("go", append([]string{"list", "-f", "{{.Dir}}\t{{.ImportPath}}", "--"}, listArgs...)...)
+		cmd.Dir = moduleDir
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, nil, fmt.Errorf("go list %s: %v", strings.Join(listArgs, " "), err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+			dir, path, ok := strings.Cut(line, "\t")
+			if ok && dir != "" {
+				targets = append(targets, Target{Dir: dir, Path: path})
+			}
+		}
+	}
+	return targets, listArgs, nil
+}
+
+// PseudoPath derives an import path for a bare directory: the part after
+// testdata/src/ when present (fixture convention), else the module-relative
+// path under the module name.
+func PseudoPath(moduleDir, dir string) string {
+	slashed := filepath.ToSlash(dir)
+	if _, after, ok := strings.Cut(slashed, "/testdata/src/"); ok {
+		return after
+	}
+	if rel, err := filepath.Rel(moduleDir, dir); err == nil && !strings.HasPrefix(rel, "..") {
+		return "repro/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(dir)
 }
 
 func knownAnalyzers(as []*Analyzer) map[string]bool {

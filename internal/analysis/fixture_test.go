@@ -14,6 +14,15 @@ import (
 // reduced to its base name.
 func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) []string {
 	t.Helper()
+	return runFixtureMulti(t, []string{rel}, analyzers...)
+}
+
+// runFixtureMulti is runFixture over several fixture directories loaded
+// together — how cross-package analyses are exercised. Directories must be
+// listed dependency-first: fixture pseudo packages have no export data, so
+// imports resolve against earlier source-checked targets.
+func runFixtureMulti(t *testing.T, rels []string, analyzers ...*Analyzer) []string {
+	t.Helper()
 	moduleDir, err := filepath.Abs("../..")
 	if err != nil {
 		t.Fatal(err)
@@ -22,12 +31,16 @@ func runFixture(t *testing.T, rel string, analyzers ...*Analyzer) []string {
 	if len(analyzers) > 0 {
 		r.Analyzers = analyzers
 	}
-	findings, err := r.Run([]Target{{Dir: filepath.Join("testdata", "src", rel), Path: rel}})
+	var targets []Target
+	for _, rel := range rels {
+		targets = append(targets, Target{Dir: filepath.Join("testdata", "src", rel), Path: rel})
+	}
+	findings, err := r.Run(targets)
 	if err != nil {
-		t.Fatalf("run %s: %v", rel, err)
+		t.Fatalf("run %v: %v", rels, err)
 	}
 	if len(r.TypeErrors) > 0 {
-		t.Fatalf("fixture %s has type errors (analyzers would be blind): %v", rel, r.TypeErrors)
+		t.Fatalf("fixture %v has type errors (analyzers would be blind): %v", rels, r.TypeErrors)
 	}
 	var out []string
 	for _, f := range findings {

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoJoin guards the goroutine discipline behind the cancellable pipeline:
+// every `go` statement in the internal/ tree must have a visible join or
+// cancellation path in its enclosing function — a Wait() call (WaitGroup,
+// errgroup), a channel receive, a range over a channel, or a select. A
+// goroutine with none of these has no way to be waited for or told to
+// stop, which is exactly the leak the serving phase cannot afford.
+// Test files are exempt.
+var GoJoin = &Analyzer{
+	Name: "gojoin",
+	Doc:  "every go statement in internal/ needs a visible join/cancellation path (Wait, channel receive, select) in its enclosing function",
+	Run:  runGoJoin,
+}
+
+// gojoinApplies limits the rule to the internal/ tree, where the
+// production pipeline lives.
+func gojoinApplies(path string) bool {
+	path = strings.TrimSuffix(path, ".test")
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoJoin(pass *Pass) {
+	if !gojoinApplies(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.checkGoStmts(fd.Body)
+		}
+	}
+}
+
+// checkGoStmts reports unjoined go statements in body, treating each
+// function literal as its own enclosing scope: a go statement belongs to
+// the innermost function that spawns it.
+func (p *Pass) checkGoStmts(body *ast.BlockStmt) {
+	var gos []*ast.GoStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if v.Body != body { // don't recurse out of our own scope
+				p.checkGoStmts(v.Body)
+				return false
+			}
+		case *ast.GoStmt:
+			gos = append(gos, v)
+			// The spawned literal's own body stays attributed to this
+			// scope for evidence purposes, but go statements nested
+			// inside it belong to the literal; handled by the FuncLit
+			// case when Inspect reaches it.
+		}
+		return true
+	})
+	if len(gos) == 0 {
+		return
+	}
+	joined := p.hasJoinEvidence(body)
+	if joined {
+		return
+	}
+	for _, g := range gos {
+		p.Reportf(g.Pos(), "go statement without a visible join/cancellation path in the enclosing function: add a WaitGroup/Wait, a result-channel receive, or a select on a done channel so the goroutine can be joined or stopped")
+	}
+}
+
+// hasJoinEvidence scans a function body (including nested literals — a
+// receive or select inside the spawned goroutine is a cancellation path)
+// for any construct that can join or stop a goroutine.
+func (p *Pass) hasJoinEvidence(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if v.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := p.TypeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -21,6 +21,11 @@ type exportImporter struct {
 	// exports caches import path -> export data file. A cached empty
 	// string records a known-unresolvable path.
 	exports map[string]string
+	// fallback, when set, resolves paths that have no export data from
+	// packages the Runner already type-checked from source — how fixture
+	// pseudo packages import each other. Export data always wins, so real
+	// module imports keep compiler-identical type identity.
+	fallback func(path string) *types.Package
 }
 
 // NewImporter returns a types.Importer backed by `go list -export`, run
@@ -36,7 +41,13 @@ func (e *exportImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
-	return e.gc.Import(path)
+	pkg, err := e.gc.Import(path)
+	if err != nil && e.fallback != nil {
+		if src := e.fallback(path); src != nil {
+			return src, nil
+		}
+	}
+	return pkg, err
 }
 
 // Prewarm resolves export data for the given package patterns and all their

@@ -69,16 +69,19 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bo
 // applySuppressions drops findings covered by a valid directive on the same
 // or preceding line, and appends one "ignore" finding per malformed
 // directive so broken suppressions fail the build instead of silently
-// doing nothing.
-func applySuppressions(findings []Finding, dirs []Directive) []Finding {
+// doing nothing. The returned slice, aligned with dirs, marks which
+// directives actually suppressed at least one finding — the input to the
+// -unused-ignores staleness report.
+func applySuppressions(findings []Finding, dirs []Directive) ([]Finding, []bool) {
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	valid := map[key]bool{}
+	valid := map[key]int{} // -> index into dirs
+	used := make([]bool, len(dirs))
 	var out []Finding
-	for _, d := range dirs {
+	for i, d := range dirs {
 		if d.Err != "" {
 			out = append(out, Finding{
 				Pos:      token.Position{Filename: d.File, Line: d.Line},
@@ -87,14 +90,18 @@ func applySuppressions(findings []Finding, dirs []Directive) []Finding {
 			})
 			continue
 		}
-		valid[key{d.File, d.Line, d.Analyzer}] = true
+		valid[key{d.File, d.Line, d.Analyzer}] = i
 	}
 	for _, f := range findings {
-		if valid[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}] ||
-			valid[key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}] {
+		if i, ok := valid[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}]; ok {
+			used[i] = true
+			continue
+		}
+		if i, ok := valid[key{f.Pos.Filename, f.Pos.Line - 1, f.Analyzer}]; ok {
+			used[i] = true
 			continue
 		}
 		out = append(out, f)
 	}
-	return out
+	return out, used
 }

@@ -84,7 +84,7 @@ func TestApplySuppressionsLineMatching(t *testing.T) {
 		{File: "x.go", Line: 40, Analyzer: "floateq", Reason: "r"},
 		{File: "x.go", Line: 50, Analyzer: "", Err: "missing reason"},
 	}
-	out := applySuppressions(findings, dirs)
+	out, used := applySuppressions(findings, dirs)
 	var msgs []string
 	for _, f := range out {
 		msgs = append(msgs, f.Message)
@@ -92,5 +92,13 @@ func TestApplySuppressionsLineMatching(t *testing.T) {
 	want := []string{"malformed suppression: missing reason", "wrong analyzer", "too far", "wrong file"}
 	if strings.Join(msgs, "|") != strings.Join(want, "|") {
 		t.Fatalf("survivors = %v, want %v", msgs, want)
+	}
+	// The first two directives suppressed a finding each; the wrong-analyzer,
+	// too-far and malformed ones did not.
+	wantUsed := []bool{true, true, false, false, false}
+	for i, w := range wantUsed {
+		if used[i] != w {
+			t.Errorf("used[%d] = %v, want %v", i, used[i], w)
+		}
 	}
 }

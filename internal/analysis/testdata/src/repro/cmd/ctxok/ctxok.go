@@ -1,0 +1,13 @@
+// Package main is the ctxflow negative fixture: cmd/ is where processes
+// start, so minting a root context here is the blessed idiom.
+package main
+
+import "context"
+
+func main() {
+	run(context.Background())
+}
+
+func run(ctx context.Context) {
+	_ = ctx
+}

@@ -1,0 +1,25 @@
+// Package clock is the leaf of the detertaint fixture: two nondeterminism
+// sources (a wall-clock read and the ambient random stream) hidden two
+// calls away from the registered driver, plus a pure negative case.
+package clock
+
+import (
+	"math/rand" // positive: import on a reachable driver path
+	"time"
+)
+
+// Stamp is a positive case: a wall-clock read reachable from the fixture
+// registry via measure.Sample.
+func Stamp() int64 {
+	return time.Now().UnixNano() // positive: time.Now on a driver path
+}
+
+// Jitter is a positive case: ambient randomness on the same path.
+func Jitter() float64 {
+	return rand.Float64() // positive: math/rand on a driver path
+}
+
+// Scale is a negative case: pure arithmetic, no ambient state.
+func Scale(x int64) int64 {
+	return x * 3
+}

@@ -1,0 +1,47 @@
+// Package experiments is a miniature driver registry mirroring the real
+// one: detertaint discovers its roots structurally (the Run fields of the
+// package-level drivers literal, looking through the wrap adapter), so
+// this fixture proves an indirect, cross-package time.Now call is caught
+// with its full call chain while the clean driver stays unflagged.
+package experiments
+
+import (
+	"context"
+
+	"repro/dtfix/measure"
+)
+
+// Lab mirrors the real registry's Lab parameter.
+type Lab struct{}
+
+// Driver mirrors the real registry entry shape.
+type Driver struct {
+	Name string
+	Run  func(context.Context, *Lab) (int64, error)
+}
+
+// wrap mirrors the real registry's typed-driver adapter.
+func wrap(f func(context.Context, *Lab) (int64, error)) func(context.Context, *Lab) (int64, error) {
+	return f
+}
+
+// TableX is tainted: it reaches time.Now and math/rand through two
+// package hops (measure.Sample -> clock.Stamp / clock.Jitter).
+func TableX(ctx context.Context, l *Lab) (int64, error) {
+	return measure.Sample(), nil
+}
+
+// TableY is clean: its whole call tree is pure.
+func TableY(ctx context.Context, l *Lab) (int64, error) {
+	return measure.Pure(2), nil
+}
+
+var drivers = []Driver{
+	{Name: "tablex", Run: wrap(TableX)},
+	{Name: "tabley", Run: TableY},
+}
+
+// Drivers mirrors the real registry accessor.
+func Drivers() []Driver {
+	return drivers
+}

@@ -1,0 +1,16 @@
+// Package measure is the middle hop of the detertaint fixture: the
+// tainted driver reaches the clock package only through here, so the
+// finding must carry a three-hop cross-package call chain.
+package measure
+
+import "repro/dtfix/clock"
+
+// Sample funnels both nondeterminism sources toward the tainted driver.
+func Sample() int64 {
+	return clock.Stamp() + int64(clock.Jitter()*100)
+}
+
+// Pure is the clean path used by the untainted driver.
+func Pure(x int64) int64 {
+	return clock.Scale(x)
+}

@@ -1,0 +1,48 @@
+// Package cgfix exercises the call-graph engine's dispatch handling:
+// interface calls fan out to every implementing type, function values
+// escape as ref edges, and literals become child nodes.
+package cgfix
+
+// Doer is dispatched through CallViaIface.
+type Doer interface {
+	Do() int
+}
+
+// A implements Doer by value.
+type A struct{}
+
+// Do routes to helperA.
+func (A) Do() int { return helperA() }
+
+// B implements Doer by pointer.
+type B struct{}
+
+// Do routes to helperB.
+func (*B) Do() int { return helperB() }
+
+func helperA() int { return 1 }
+
+func helperB() int { return 2 }
+
+func helperC() int { return 3 }
+
+// CallViaIface is an interface call site: the engine must fan out to both
+// (A).Do and (*B).Do.
+func CallViaIface(d Doer) int { return d.Do() }
+
+// TakeValue lets helperC escape as a function value: a ref edge.
+func TakeValue() func() int { return helperC }
+
+// Dynamic calls through a parameter: no static callee, covered by the ref
+// edges at the points where functions escape.
+func Dynamic(f func() int) int { return f() }
+
+// SpawnLit contains a function literal child node calling helperB.
+func SpawnLit() {
+	done := make(chan struct{})
+	go func() {
+		helperB()
+		close(done)
+	}()
+	<-done
+}

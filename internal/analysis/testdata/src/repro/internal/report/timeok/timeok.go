@@ -1,14 +1,14 @@
-// Package timeok is a nondeterminism negative fixture: it reads the wall
-// clock, but lives at an unrestricted pseudo path (repro/internal/report/...),
-// where timestamps on reports are allowed.
+// Package timeok is a detertaint negative fixture: it reads the wall
+// clock, but is not reachable from any deterministic root (no driver
+// registry or MeasureSuiteCtx calls into a report package).
 package timeok
 
 import "time"
 
-// Stamp returns the current time; fine outside the simulation packages as
-// far as nondeterminism is concerned (the wallclock suppression answers
-// the newer, module-wide clock-confinement rule).
+// Stamp returns the current time; fine off the driver call paths as far
+// as detertaint is concerned (the wallclock suppression answers the
+// module-wide clock-confinement rule).
 func Stamp() time.Time {
-	//charnet:ignore wallclock fixture exists to prove nondeterminism ignores unrestricted paths
+	//charnet:ignore wallclock fixture exists to prove detertaint ignores unreachable code
 	return time.Now()
 }

@@ -1,5 +1,5 @@
-// Package wallclockfix is the wallclock fixture: wall-clock reads at an
-// unrestricted pseudo path (fine for nondeterminism) that must still be
+// Package wallclockfix is the wallclock fixture: wall-clock reads off
+// every driver call path (fine for detertaint) that must still be
 // flagged because they bypass the obs.Clock abstraction.
 package wallclockfix
 

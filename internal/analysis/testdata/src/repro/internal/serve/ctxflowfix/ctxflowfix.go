@@ -1,0 +1,40 @@
+// Package ctxflowfix exercises the three context-discipline rules:
+// context.Context must be the first parameter, must not live in a struct
+// field, and Background/TODO are reserved for cmd/ and tests.
+package ctxflowfix
+
+import "context"
+
+// Server is a positive case: the stored context outlives any request.
+type Server struct {
+	ctx  context.Context // positive: context in a struct field
+	name string
+}
+
+// handle is a positive case: the context hides behind another parameter.
+func handle(name string, ctx context.Context) string { // positive: ctx not first
+	_ = ctx
+	return name
+}
+
+// ok is a negative case: context first, then everything else.
+func ok(ctx context.Context, name string) string {
+	_ = ctx
+	return name
+}
+
+// boot is a positive case: only process entry points mint root contexts.
+func boot() *Server {
+	return &Server{ctx: context.Background(), name: "s"} // positive: Background outside cmd/
+}
+
+// todo is a positive case for the TODO variant.
+func todo() context.Context {
+	return context.TODO() // positive: TODO outside cmd/
+}
+
+// closures are checked too.
+var deferred = func(n int, ctx context.Context) int { // positive: ctx not first in a literal
+	_ = ctx
+	return n
+}

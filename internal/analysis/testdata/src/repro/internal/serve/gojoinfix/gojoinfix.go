@@ -1,0 +1,64 @@
+// Package gojoinfix exercises the goroutine-join rule: a go statement in
+// internal/ needs a visible join or cancellation path in its enclosing
+// function.
+package gojoinfix
+
+import "sync"
+
+func work() {}
+
+func produce() int { return 1 }
+
+// leak is the positive case: nothing can wait for or stop the goroutine.
+func leak() {
+	go work() // positive: no join/cancellation path
+}
+
+// leakLit is a positive case through a literal.
+func leakLit() {
+	go func() { // positive: no join/cancellation path
+		work()
+	}()
+}
+
+// joined is a negative case: WaitGroup join.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// channelJoined is a negative case: the result channel receive joins.
+func channelJoined() int {
+	ch := make(chan int)
+	go func() { ch <- produce() }()
+	return <-ch
+}
+
+// selectCancel is a negative case: the goroutine selects on a done
+// channel, a visible cancellation path.
+func selectCancel(done chan struct{}) {
+	go func() {
+		select {
+		case <-done:
+		}
+	}()
+}
+
+// rangeJoined is a negative case: draining the channel joins the producer.
+func rangeJoined() int {
+	ch := make(chan int)
+	go func() {
+		ch <- produce()
+		close(ch)
+	}()
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}

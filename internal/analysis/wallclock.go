@@ -14,8 +14,8 @@ var wallclockExemptPrefixes = []string{
 }
 
 // WallClock confines direct wall-clock reads to internal/obs. Where
-// nondeterminism bans time.Now inside the simulation packages because it
-// would corrupt results, wallclock extends the rule to the whole module
+// detertaint bans time.Now on driver call paths because it would
+// corrupt results, wallclock extends the rule to the whole module
 // for a different reason: timing the pipeline is observability, and
 // observability must flow through obs.Clock so it stays injectable
 // (deterministic under test) and nil-disabled (free when off). Test files

@@ -65,7 +65,7 @@ func MeasureSuiteCached(cache MeasurementCache, ps []workload.Profile, m *machin
 // count for the measurement pool (0 = GOMAXPROCS).
 func MeasureSuiteCachedWorkers(cache MeasurementCache, ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
 	//charnet:ignore errdiscard a background context cannot be cancelled, so the only error source is off
-	ms, _ := MeasureSuiteCtx(context.Background(), cache, ps, m, opts, workers)
+	ms, _ := MeasureSuiteCtx(context.Background(), cache, ps, m, opts, workers) //charnet:ignore ctxflow pre-context compat shim: documented as uncancellable; cancellable callers use MeasureSuiteCtx
 	return ms
 }
 
@@ -102,7 +102,7 @@ func MeasureSuiteCtx(ctx context.Context, cache MeasurementCache, ps []workload.
 // gauge. None of this instrumentation affects the measurements.
 func MeasureSuiteWorkers(ps []workload.Profile, m *machine.Config, opts sim.Options, workers int) []Measurement {
 	//charnet:ignore errdiscard a background context cannot be cancelled, so the only error source is off
-	ms, _ := measureSuiteWorkersCtx(context.Background(), ps, m, opts, workers)
+	ms, _ := measureSuiteWorkersCtx(context.Background(), ps, m, opts, workers) //charnet:ignore ctxflow pre-context compat shim: documented as uncancellable; cancellable callers use MeasureSuiteCtx
 	return ms
 }
 

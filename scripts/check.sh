@@ -5,8 +5,12 @@
 #                gofmt-clean so their golden line numbers are stable)
 #   go vet       the stock toolchain checks
 #   charnet-vet  the repo's determinism-and-correctness lint suite
-#                (docs/ANALYSIS.md), including printbound: the experiments
-#                layer must emit artifacts, never print
+#                (docs/ANALYSIS.md), including the whole-program
+#                detertaint reachability proof over every registered
+#                driver's Run path, with stale //charnet:ignore
+#                directives rejected (-unused-ignores) and the machine-
+#                readable findings document (-json) archived in the work
+#                dir next to the trace artifacts
 #   go test      all packages, race detector on
 #   trace smoke  charnet -trace-out on a real driver, validated by
 #                cmd/tracecheck, with stdout checked byte-identical to an
@@ -36,8 +40,14 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== charnet-vet ./..."
-go run ./cmd/charnet-vet ./...
+echo "== charnet-vet ./... (stale-ignore check, JSON archive)"
+if ! go run ./cmd/charnet-vet -unused-ignores -json ./... > "$workdir/vet.json"; then
+    echo "charnet-vet findings:" >&2
+    cat "$workdir/vet.json" >&2
+    exit 1
+fi
+grep -q '"analyzers"' "$workdir/vet.json" || {
+    echo "vet.json missing the analyzer roster" >&2; exit 1; }
 
 echo "== go test -race ./..."
 go test -race ./...
