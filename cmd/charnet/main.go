@@ -6,7 +6,8 @@
 //
 //	charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv]
 //	        [-trace-out FILE] [-events-out FILE] [-profile-json FILE]
-//	        [-progress] [-pprof ADDR] <command>
+//	        [-telemetry-out FILE] [-progress] [-telemetry-addr ADDR]
+//	        [-pprof ADDR] <command>
 //
 // Output format:
 //
@@ -23,14 +24,20 @@
 // Observability flags (all output goes to stderr or files; experiment
 // stdout is byte-identical with or without them):
 //
-//	-workers N         bound the measurement worker pool (0 = GOMAXPROCS)
-//	-trace-out FILE    write a Chrome trace-event JSON file (load it at
-//	                   https://ui.perfetto.dev or chrome://tracing)
-//	-events-out FILE   write the span/counter/gauge event log as JSONL
-//	-profile-json FILE write top-level phase wall-times as JSON
-//	                   (consumed by scripts/bench.sh)
-//	-progress          live driver/suite progress lines on stderr
-//	-pprof ADDR        serve net/http/pprof and expvar on ADDR
+//	-workers N           bound the measurement worker pool (0 = GOMAXPROCS)
+//	-trace-out FILE      write a Chrome trace-event JSON file (load it at
+//	                     https://ui.perfetto.dev or chrome://tracing)
+//	-events-out FILE     write the span/counter/gauge/histogram event log
+//	                     as JSONL
+//	-profile-json FILE   write top-level phase wall-times as JSON
+//	                     (consumed by scripts/bench.sh)
+//	-telemetry-out FILE  write the telemetry run-report artifact as JSON
+//	-progress            live driver/suite progress lines on stderr
+//	-telemetry-addr ADDR serve the live telemetry plane on ADDR: /metrics
+//	                     (Prometheus text format), /healthz, /infoz,
+//	                     /debug/vars and /debug/pprof/*. The bound address
+//	                     is announced on stderr, so ":0" works.
+//	-pprof ADDR          deprecated alias for -telemetry-addr
 //
 // Any of these (except -workers) also prints the end-of-run text
 // self-profile tree on stderr.
@@ -43,16 +50,18 @@ package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux for -pprof
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/charnet"
 	"repro/internal/artifact"
@@ -62,6 +71,7 @@ import (
 	"repro/internal/mstore"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 	"repro/internal/textplot"
 )
 
@@ -74,7 +84,9 @@ func main() {
 	eventsOut := flag.String("events-out", "", "write the observability event log as JSONL")
 	profileJSON := flag.String("profile-json", "", "write top-level phase wall-times as JSON")
 	progress := flag.Bool("progress", false, "live per-driver/per-suite progress on stderr")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (\":0\" picks a port, announced on stderr)")
+	telemetryOut := flag.String("telemetry-out", "", "write the telemetry run-report artifact as JSON")
+	pprofAddr := flag.String("pprof", "", "deprecated alias for -telemetry-addr")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -94,10 +106,15 @@ func main() {
 	cfg.Workers = *workers
 	lab := experiments.NewLab(cfg)
 
+	serveAddr := *telemetryAddr
+	if serveAddr == "" {
+		serveAddr = *pprofAddr
+	}
+
 	// The trace exists only when some observability output was requested:
 	// an untraced run keeps the nil no-op path everywhere.
 	var tr *obs.Trace
-	if *traceOut != "" || *eventsOut != "" || *profileJSON != "" || *progress || *pprofAddr != "" {
+	if *traceOut != "" || *eventsOut != "" || *profileJSON != "" || *telemetryOut != "" || *progress || serveAddr != "" {
 		var opts []obs.Option
 		if *progress {
 			opts = append(opts, obs.WithProgress(os.Stderr))
@@ -105,13 +122,20 @@ func main() {
 		tr = obs.New(opts...)
 		lab.Obs = tr
 	}
-	if *pprofAddr != "" {
-		expvar.Publish("charnet", expvar.Func(func() any { return tr.Snapshot() }))
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "charnet: pprof server: %v\n", err)
-			}
-		}()
+
+	stopTelemetry := func() {}
+	if serveAddr != "" {
+		fidelity := "quick"
+		if *full {
+			fidelity = "full"
+		}
+		info := telemetry.Info{Command: flag.Arg(0), Fidelity: fidelity, Format: *format, Workers: *workers}
+		stop, err := serveTelemetry(serveAddr, tr, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "charnet: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		stopTelemetry = stop
 	}
 
 	if *cacheDir != "" {
@@ -129,7 +153,8 @@ func main() {
 
 	cmd := flag.Arg(0)
 	derr := dispatch(ctx, lab, cmd, flag.Args()[1:], *format, os.Stdout)
-	if err := writeObsOutputs(tr, *traceOut, *eventsOut, *profileJSON); err != nil {
+	stopTelemetry()
+	if err := writeObsOutputs(ctx, lab, tr, *traceOut, *eventsOut, *profileJSON, *telemetryOut); err != nil {
 		fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
 		if derr == nil {
 			os.Exit(1)
@@ -141,9 +166,36 @@ func main() {
 	}
 }
 
+// serveTelemetry binds the telemetry service plane (internal/telemetry's
+// mux) on addr and starts serving. Listening happens synchronously so a
+// ":0" address resolves to a real port before the run starts, announced
+// on stderr for scrapers to pick up. The returned stop function
+// gracefully shuts the server down and joins the serve goroutine.
+func serveTelemetry(addr string, tr *obs.Trace, info telemetry.Info) (stop func(), err error) {
+	expvar.Publish("charnet", expvar.Func(func() any { return tr.Snapshot() }))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "charnet: telemetry: serving on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: telemetry.NewMux(tr, info)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	return func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "charnet: telemetry: shutdown: %v\n", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "charnet: telemetry: %v\n", err)
+		}
+	}, nil
+}
+
 // writeObsOutputs lands the requested trace artifacts and prints the text
 // self-profile on stderr. Observability output never touches stdout.
-func writeObsOutputs(tr *obs.Trace, traceOut, eventsOut, profileJSON string) error {
+func writeObsOutputs(ctx context.Context, lab *experiments.Lab, tr *obs.Trace, traceOut, eventsOut, profileJSON, telemetryOut string) error {
 	if tr == nil {
 		return nil
 	}
@@ -174,13 +226,24 @@ func writeObsOutputs(tr *obs.Trace, traceOut, eventsOut, profileJSON string) err
 			return err
 		}
 	}
+	if telemetryOut != "" {
+		res, err := experiments.Telemetry(ctx, lab)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(telemetryOut, func(w io.Writer) error {
+			return artifact.WriteJSON(w, []*artifact.Artifact{res.Artifact()})
+		}); err != nil {
+			return err
+		}
+	}
 	return tr.WriteSelfProfile(os.Stderr)
 }
 
 // usage is generated from the driver registry: a driver registered in
 // internal/experiments appears here without any cmd/charnet change.
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv] [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-progress] [-pprof ADDR] <command>")
+	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv] [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-telemetry-out FILE] [-progress] [-telemetry-addr ADDR] <command>")
 	fmt.Fprintln(os.Stderr, "\nutility commands (text-only):")
 	fmt.Fprintln(os.Stderr, "  metrics     print the Table I metric catalog")
 	fmt.Fprintln(os.Stderr, "  machines    print the Table II machine models")

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// realExposition renders a genuine telemetry exposition so the checker
+// is tested against exactly what charnet serves.
+func realExposition(t *testing.T) string {
+	t.Helper()
+	tr := obs.New()
+	tr.Add("mstore.hits", 3)
+	tr.Gauge("pool.utilization", 0.5)
+	for i := 1; i <= 50; i++ {
+		tr.Observe("measure.latency", time.Duration(i)*time.Millisecond)
+	}
+	var b strings.Builder
+	if err := telemetry.WriteInfo(&b, telemetry.Info{Command: "table4", Fidelity: "quick", Format: "text"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WritePrometheus(&b, tr.Metrics()); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCheckAcceptsRealExposition(t *testing.T) {
+	text := realExposition(t)
+	problems := check(text, []string{"charnet_measure_latency_seconds", "charnet_mstore_hits_total", "charnet_build_info"})
+	if len(problems) != 0 {
+		t.Fatalf("real exposition rejected:\n%s\n---\n%s", strings.Join(problems, "\n"), text)
+	}
+}
+
+func TestCheckWantMissing(t *testing.T) {
+	problems := check(realExposition(t), []string{"charnet_nonexistent_family"})
+	if len(problems) != 1 || !strings.Contains(problems[0], "charnet_nonexistent_family") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCheckRejectsViolations(t *testing.T) {
+	cases := []struct {
+		name, text, wantProblem string
+	}{
+		{
+			name: "untyped family",
+			text: "some_metric 3\n",
+
+			wantProblem: "no # TYPE",
+		},
+		{
+			name: "descending le",
+			text: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.2\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\n" +
+				"h_sum 0.3\nh_count 2\n",
+			wantProblem: "not ascending",
+		},
+		{
+			name: "decreasing cumulative",
+			text: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"0.2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 0.3\nh_count 5\n",
+			wantProblem: "cumulative count decreases",
+		},
+		{
+			name: "missing +Inf",
+			text: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\nh_sum 0.1\nh_count 1\n",
+			wantProblem: "missing +Inf",
+		},
+		{
+			name: "+Inf not last",
+			text: "# TYPE h histogram\n" +
+				"h_bucket{le=\"+Inf\"} 2\nh_bucket{le=\"0.1\"} 1\n" +
+				"h_sum 0.1\nh_count 2\n",
+			wantProblem: "+Inf bucket is not last",
+		},
+		{
+			name: "count mismatch",
+			text: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\n" +
+				"h_sum 0.1\nh_count 3\n",
+			wantProblem: "!= _count",
+		},
+		{
+			name: "missing sum",
+			text: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			wantProblem: "_sum",
+		},
+		{
+			name: "wrong quantile labels",
+			text: "# TYPE g_quantile gauge\n" +
+				"g_quantile{quantile=\"0.5\"} 1\ng_quantile{quantile=\"0.9\"} 2\ng_quantile{quantile=\"0.99\"} 3\n",
+			wantProblem: "quantile label",
+		},
+		{
+			name: "quantiles out of order",
+			text: "# TYPE g_quantile gauge\n" +
+				"g_quantile{quantile=\"0.5\"} 5\ng_quantile{quantile=\"0.95\"} 2\ng_quantile{quantile=\"0.99\"} 3\n",
+			wantProblem: "not non-decreasing",
+		},
+		{
+			name:        "unparseable value",
+			text:        "# TYPE c counter\nc banana\n",
+			wantProblem: "unparseable",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := check(tc.text, nil)
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p, tc.wantProblem) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("problems %v missing %q", problems, tc.wantProblem)
+			}
+		})
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	s, err := parseLine(`charnet_run_info{command="table4",fidelity="quick",format="text",workers="0"} 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.name != "charnet_run_info" || s.labels["command"] != "table4" || s.value != 1 {
+		t.Errorf("parsed %+v", s)
+	}
+	s, err = parseLine(`esc{v="a\"b\\c"} 2.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.labels["v"] != `a"b\c` || s.value != 2.5 {
+		t.Errorf("escape parsing: %+v", s)
+	}
+	if _, err := parseLine("bare"); err == nil {
+		t.Error("want error for line without value")
+	}
+}

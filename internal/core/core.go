@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/machine"
@@ -129,12 +130,24 @@ func measureSuiteWorkersCtx(ctx context.Context, ps []workload.Profile, m *machi
 	done := ctx.Done()
 	var busy atomic.Int64
 	var wg sync.WaitGroup
-	jobs := make(chan int)
+	// A job carries its enqueue time so the receiving worker can report
+	// how long it sat waiting for a free worker ("pool.queue.wait"). The
+	// channel is unbuffered, so the wait spans the feeder offering the
+	// index until a worker picks it up. enq stays the zero time when
+	// tracing is disabled.
+	type job struct {
+		idx int
+		enq time.Time
+	}
+	jobs := make(chan job)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(lane int) {
 			defer wg.Done()
-			for i := range jobs {
+			for j := range jobs {
+				if tr != nil {
+					tr.Observe("pool.queue.wait", tr.Now().Sub(j.enq))
+				}
 				select {
 				case <-done:
 					// Cancelled with a job already handed over: drop it
@@ -142,14 +155,15 @@ func measureSuiteWorkersCtx(ctx context.Context, ps []workload.Profile, m *machi
 					continue
 				default:
 				}
-				p := ps[i]
+				p := ps[j.idx]
 				o := opts
 				wspan := suite.ChildLane(lane, "sim", p.Name)
 				o.Obs = wspan
-				out[i] = measureOne(p, m, o)
+				out[j.idx] = measureOne(p, m, o)
 				wspan.End()
 				if tr != nil {
 					busy.Add(int64(wspan.Duration()))
+					tr.Observe("sim.workload.latency", wspan.Duration())
 				}
 			}
 		}(w + 1)
@@ -157,7 +171,7 @@ func measureSuiteWorkersCtx(ctx context.Context, ps []workload.Profile, m *machi
 feed:
 	for i := range ps {
 		select {
-		case jobs <- i:
+		case jobs <- job{idx: i, enq: tr.Now()}:
 		case <-done:
 			break feed
 		}
@@ -186,6 +200,7 @@ func measureOne(p workload.Profile, m *machine.Config, opts sim.Options) Measure
 	dspan := opts.Obs.Child("derive", "")
 	v, err := perf.Normalize(res)
 	dspan.End()
+	opts.Obs.Trace().Observe("sim.phase.derive", dspan.Duration())
 	if err != nil {
 		return Measurement{Workload: p, Err: err}
 	}

@@ -118,7 +118,9 @@ func (l *Lab) measure(ctx context.Context, key string, ps []workload.Profile, m 
 			// context gets cancelled we inherit its error; the failed entry
 			// is evicted, so a later uncancelled call re-measures.
 			l.Obs.Add("lab.singleflight.coalesced", 1)
+			waitStart := l.Obs.Now()
 			<-e.done
+			l.Obs.Observe("measure.singleflight.wait", l.Obs.Now().Sub(waitStart))
 		}
 		return e.ms, e.err
 	}
@@ -129,6 +131,7 @@ func (l *Lab) measure(ctx context.Context, key string, ps []workload.Profile, m 
 	opts.Obs = span
 	e.ms, e.err = core.MeasureSuiteCtx(ctx, l.Store, ps, m, opts, l.Cfg.Workers)
 	span.End()
+	l.Obs.Observe("measure.latency", span.Duration())
 	if e.err != nil {
 		// Evict before releasing waiters: an entry that failed (in practice,
 		// was cancelled) must not poison the key for future callers. A

@@ -15,11 +15,12 @@ type Driver struct {
 	Name  string // CLI command and artifact name ("fig3", "table4", ...)
 	Title string // one-line description for the usage string
 	Paper string // paper reference ("Fig. 3", "Table IV", ...)
-	// SkipInTextAll excludes the driver from text-format `all` runs.
-	// Only fig12 sets it: the legacy combined text rendering already
-	// prints the Fig 12 columns inside fig11's table, and text output of
-	// `all` is pinned byte-for-byte to docs/full_output.txt. Structured
-	// formats (JSON/CSV) include every driver.
+	// SkipInTextAll excludes the driver from text-format `all` runs,
+	// whose output is pinned byte-for-byte to docs/full_output.txt.
+	// fig12 sets it because the legacy combined text rendering already
+	// prints the Fig 12 columns inside fig11's table; telemetry sets it
+	// because its payloads describe the run itself, not the paper.
+	// Structured formats (JSON/CSV) include every driver.
 	SkipInTextAll bool
 	Run           func(ctx context.Context, l *Lab) (artifact.Producer, error)
 }
@@ -58,6 +59,7 @@ var drivers = []Driver{
 	{Name: "claims", Title: "machine-checked reproduction claims", Paper: "EXPERIMENTS.md", Run: wrap(runClaimsDriver)},
 	{Name: "sensitivity", Title: "robustness of headline orderings", Paper: "ext.", Run: wrap(Sensitivity)},
 	{Name: "crossisa", Title: "cross-ISA subset validity (extension)", Paper: "§V-D ext.", Run: wrap(CrossISA)},
+	{Name: "telemetry", Title: "run telemetry: pipeline latency histograms", Paper: "ext.", SkipInTextAll: true, Run: wrap(Telemetry)},
 }
 
 // runClaimsDriver adapts RunClaims to the common driver shape.

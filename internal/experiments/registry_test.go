@@ -8,13 +8,14 @@ import (
 )
 
 // TestRegistryShape: every driver appears exactly once with complete
-// metadata, DriverByName agrees with the slice, and fig12 is the only
-// driver excluded from text-format `all` (its columns already appear in
-// fig11's legacy table, which is pinned byte-for-byte).
+// metadata, DriverByName agrees with the slice, and only fig12 (its
+// columns already appear in fig11's legacy table) and telemetry (it
+// describes the run, not the paper) are excluded from text-format
+// `all`, which is pinned byte-for-byte.
 func TestRegistryShape(t *testing.T) {
 	ds := Drivers()
-	if len(ds) != 20 {
-		t.Fatalf("registry has %d drivers, want 20", len(ds))
+	if len(ds) != 21 {
+		t.Fatalf("registry has %d drivers, want 21", len(ds))
 	}
 	seen := map[string]bool{}
 	for _, d := range ds {
@@ -29,8 +30,8 @@ func TestRegistryShape(t *testing.T) {
 		if !ok || got.Name != d.Name {
 			t.Errorf("DriverByName(%q) = %+v, %v", d.Name, got, ok)
 		}
-		if d.SkipInTextAll != (d.Name == "fig12") {
-			t.Errorf("driver %q SkipInTextAll = %v; only fig12 may be skipped", d.Name, d.SkipInTextAll)
+		if d.SkipInTextAll != (d.Name == "fig12" || d.Name == "telemetry") {
+			t.Errorf("driver %q SkipInTextAll = %v; only fig12 and telemetry may be skipped", d.Name, d.SkipInTextAll)
 		}
 	}
 	if _, ok := DriverByName("fig99"); ok {

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/artifact"
+	"repro/internal/obs"
+)
+
+// Telemetry is the run-report driver: it snapshots the lab trace's own
+// metrics — the counters, gauges and latency histograms the pipeline
+// records about itself — and presents them through the artifact stack,
+// so `charnet telemetry` (or -telemetry-out at the end of any run)
+// renders the same data plane /metrics serves live. With tracing off the
+// result is a fixed one-line note; the driver is therefore excluded from
+// text-format `all`, whose output is pinned byte-for-byte.
+func Telemetry(ctx context.Context, l *Lab) (*TelemetryResult, error) {
+	return &TelemetryResult{Enabled: l.Obs != nil, Metrics: l.Obs.Metrics()}, nil
+}
+
+// TelemetryResult is the snapshot behind the telemetry artifact.
+type TelemetryResult struct {
+	Enabled bool
+	Metrics obs.MetricsSnapshot
+}
+
+// String renders the artifact's text form.
+func (r *TelemetryResult) String() string { return artifact.Text(r.Artifact()) }
+
+// Artifact implements artifact.Producer.
+func (r *TelemetryResult) Artifact() *artifact.Artifact {
+	a := &artifact.Artifact{
+		Name:  "telemetry",
+		Title: "Run telemetry: pipeline self-measurement",
+		Paper: "ext.",
+	}
+	if !r.Enabled {
+		a.Add(artifact.NoteLine("telemetry-disabled",
+			"telemetry: tracing disabled; run with an observability flag (-telemetry-addr, -trace-out, ...) to collect metrics"))
+		return a
+	}
+	ms := func(ns float64) artifact.Value {
+		return artifact.Num(fmt.Sprintf("%.3f", ns/1e6), ns/1e6)
+	}
+	if len(r.Metrics.Histograms) > 0 {
+		t := &artifact.Table{
+			Name:  "latency-histograms",
+			Title: "latency histograms",
+			Columns: []artifact.Column{
+				{Name: "metric"}, {Name: "count"},
+				{Name: "p50", Unit: "ms"}, {Name: "p95", Unit: "ms"},
+				{Name: "p99", Unit: "ms"}, {Name: "max", Unit: "ms"},
+			},
+		}
+		for _, h := range r.Metrics.Histograms {
+			t.Rows = append(t.Rows, []artifact.Value{
+				artifact.Str(h.Name),
+				artifact.Num(fmt.Sprintf("%d", h.Count), float64(h.Count)),
+				ms(h.Quantile(0.50)), ms(h.Quantile(0.95)), ms(h.Quantile(0.99)),
+				ms(float64(h.Max)),
+			})
+		}
+		a.Add(t)
+	}
+	if len(r.Metrics.Counters) > 0 {
+		t := &artifact.Table{
+			Name:    "counters",
+			Title:   "counters",
+			Columns: []artifact.Column{{Name: "counter"}, {Name: "value"}},
+		}
+		for _, c := range r.Metrics.Counters {
+			t.Rows = append(t.Rows, []artifact.Value{
+				artifact.Str(c.Name),
+				artifact.Num(fmt.Sprintf("%d", c.Value), float64(c.Value)),
+			})
+		}
+		a.Add(t)
+	}
+	if len(r.Metrics.Gauges) > 0 {
+		t := &artifact.Table{
+			Name:    "gauges",
+			Title:   "gauges",
+			Columns: []artifact.Column{{Name: "gauge"}, {Name: "value"}},
+		}
+		for _, g := range r.Metrics.Gauges {
+			t.Rows = append(t.Rows, []artifact.Value{artifact.Str(g.Name), artifact.Number(g.Value)})
+		}
+		a.Add(t)
+	}
+	if len(a.Payloads) == 0 {
+		a.Add(artifact.NoteLine("telemetry-empty", "telemetry: tracing on, but no metrics recorded yet"))
+	}
+	return a
+}

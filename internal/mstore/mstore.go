@@ -47,9 +47,10 @@ const FormatVersion = 1
 type Store struct {
 	dir string
 
-	// Obs, when set, counts store traffic: mstore.hits, mstore.misses,
-	// mstore.corrupt, mstore.errors, mstore.puts, mstore.put_errors.
-	// Nil-safe; assign before first use.
+	// Obs, when set, counts store traffic (mstore.hits, mstore.misses,
+	// mstore.corrupt, mstore.errors, mstore.puts, mstore.put_errors) and
+	// times it (mstore.get.hit.latency, mstore.get.miss.latency,
+	// mstore.put.latency histograms). Nil-safe; assign before first use.
 	Obs *obs.Trace
 
 	// Log receives one warning line per failure class (corrupt entry, read
@@ -145,7 +146,15 @@ func (s *Store) path(key string) string {
 // false) on any miss. Absent, unreadable and corrupt entries all mean
 // "measure", but are counted apart: a plain absent file is an expected
 // miss, an IO error or a corrupt entry is a degraded store.
-func (s *Store) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) ([]core.Measurement, bool) {
+func (s *Store) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) (_ []core.Measurement, hit bool) {
+	start := s.Obs.Now()
+	defer func() {
+		name := "mstore.get.miss.latency"
+		if hit {
+			name = "mstore.get.hit.latency"
+		}
+		s.Obs.Observe(name, s.Obs.Now().Sub(start))
+	}()
 	key, err := Key(ps, m, opts)
 	if err != nil {
 		s.Obs.Add("mstore.errors", 1)
@@ -185,6 +194,8 @@ func (s *Store) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) 
 // nothing — but failures are counted (mstore.put_errors) and warned once,
 // because a store that never lands a write is a disabled cache.
 func (s *Store) Put(ps []workload.Profile, m *machine.Config, opts sim.Options, ms []core.Measurement) {
+	start := s.Obs.Now()
+	defer func() { s.Obs.Observe("mstore.put.latency", s.Obs.Now().Sub(start)) }()
 	if err := s.put(ps, m, opts, ms); err != nil {
 		s.Obs.Add("mstore.put_errors", 1)
 		s.warnOnce("write", "cannot store measurement: %v", err)

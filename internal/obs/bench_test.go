@@ -17,6 +17,32 @@ func BenchmarkDisabledSpan(b *testing.B) {
 		c.End()
 		sp.End()
 		tr.Add("ctr", 1)
+		tr.Observe("h", time.Millisecond)
+	}
+}
+
+// BenchmarkDisabledObserve isolates the nil-trace histogram record path:
+// it must stay a few nanoseconds with zero allocations, like the span
+// path above.
+func BenchmarkDisabledObserve(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Observe("measure.latency", time.Millisecond)
+		tr.Histogram("measure.latency").Observe(int64(i))
+	}
+}
+
+// BenchmarkEnabledObserve measures the live record path (read-locked map
+// hit plus atomic adds).
+func BenchmarkEnabledObserve(b *testing.B) {
+	tr := New(WithClock(newFakeClock(time.Nanosecond)))
+	h := tr.Histogram("measure.latency")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe("measure.latency", time.Millisecond)
+		h.Observe(int64(i))
 	}
 }
 

@@ -76,7 +76,7 @@ func sortedInts(set map[int]bool) []int {
 
 // jsonlEvent is one line of the JSONL event log.
 type jsonlEvent struct {
-	Type    string  `json:"type"` // "span" | "counter" | "gauge"
+	Type    string  `json:"type"` // "span" | "counter" | "gauge" | "histogram"
 	Name    string  `json:"name"`
 	Detail  string  `json:"detail,omitempty"`
 	Lane    int     `json:"lane,omitempty"`
@@ -84,10 +84,20 @@ type jsonlEvent struct {
 	StartUS float64 `json:"start_us,omitempty"`
 	DurUS   float64 `json:"dur_us,omitempty"`
 	Value   float64 `json:"value,omitempty"`
+
+	// Histogram summary fields (type "histogram"), microseconds.
+	Count int64   `json:"count,omitempty"`
+	SumUS float64 `json:"sum_us,omitempty"`
+	MinUS float64 `json:"min_us,omitempty"`
+	MaxUS float64 `json:"max_us,omitempty"`
+	P50US float64 `json:"p50_us,omitempty"`
+	P95US float64 `json:"p95_us,omitempty"`
+	P99US float64 `json:"p99_us,omitempty"`
 }
 
 // WriteJSONL writes the structured event log: one JSON object per line,
-// spans in start order followed by counters and gauges in name order.
+// spans in start order followed by counters, gauges and histogram
+// summaries, each section in name order.
 func (t *Trace) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
@@ -112,6 +122,20 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(gauges) {
 		if err := enc.Encode(jsonlEvent{Type: "gauge", Name: name, Value: gauges[name]}); err != nil {
+			return err
+		}
+	}
+	for _, h := range t.Metrics().Histograms {
+		ev := jsonlEvent{
+			Type: "histogram", Name: h.Name, Count: h.Count,
+			SumUS: float64(h.Sum) / 1e3,
+			MinUS: float64(h.Min) / 1e3,
+			MaxUS: float64(h.Max) / 1e3,
+			P50US: h.Quantile(0.50) / 1e3,
+			P95US: h.Quantile(0.95) / 1e3,
+			P99US: h.Quantile(0.99) / 1e3,
+		}
+		if err := enc.Encode(ev); err != nil {
 			return err
 		}
 	}
@@ -158,7 +182,7 @@ func (n *profNode) child(label string) *profNode {
 
 // WriteSelfProfile writes the end-of-run text self-profile: a tree of
 // phases with wall time, share of parent, and invocation counts, followed
-// by the counters and gauges. Spans at depth 0-1 (drivers, suite
+// by the counters, gauges and histogram summaries. Spans at depth 0-1 (drivers, suite
 // measurements) keep their per-instance labels; deeper spans aggregate by
 // name, so the 2906 per-workload sim spans fold into one row. Because
 // workloads run on a worker pool, a parallel stage's summed wall time can
@@ -218,6 +242,19 @@ func (t *Trace) WriteSelfProfile(w io.Writer) error {
 		fmt.Fprintf(&b, "gauges:\n")
 		for _, name := range sortedKeys(gauges) {
 			fmt.Fprintf(&b, "  %-42s %14.3f\n", name, gauges[name])
+		}
+	}
+	if hists := t.Metrics().Histograms; len(hists) > 0 {
+		fmt.Fprintf(&b, "histograms:\n")
+		fmt.Fprintf(&b, "  %-42s %8s %10s %10s %10s %10s\n",
+			"name", "count", "p50", "p95", "p99", "max")
+		for _, h := range hists {
+			q := func(p float64) string {
+				return time.Duration(h.Quantile(p)).Round(time.Microsecond).String()
+			}
+			fmt.Fprintf(&b, "  %-42s %8d %10s %10s %10s %10s\n",
+				h.Name, h.Count, q(0.50), q(0.95), q(0.99),
+				time.Duration(h.Max).Round(time.Microsecond))
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -27,6 +27,9 @@ func sampleTrace() *Trace {
 	tr.Add("mstore.hits", 2)
 	tr.Add("mstore.misses", 1)
 	tr.Gauge("pool.utilization", 0.9)
+	tr.Observe("sim.workload.latency", 3*time.Millisecond)
+	tr.Observe("sim.workload.latency", 5*time.Millisecond)
+	tr.Observe("measure.latency", 11*time.Millisecond)
 	return tr
 }
 
@@ -97,7 +100,7 @@ func TestJSONLExport(t *testing.T) {
 	if err := tr.WriteJSONL(&b); err != nil {
 		t.Fatal(err)
 	}
-	var spans, counters, gauges int
+	var spans, counters, gauges, hists int
 	sc := bufio.NewScanner(strings.NewReader(b.String()))
 	for sc.Scan() {
 		var ev jsonlEvent
@@ -114,12 +117,88 @@ func TestJSONLExport(t *testing.T) {
 			counters++
 		case "gauge":
 			gauges++
+		case "histogram":
+			hists++
+			if ev.Count <= 0 || ev.P50US <= 0 || ev.P99US < ev.P50US {
+				t.Errorf("implausible histogram summary: %+v", ev)
+			}
 		default:
 			t.Errorf("unknown event type %q", ev.Type)
 		}
 	}
-	if spans != 11 || counters != 2 || gauges != 1 {
-		t.Fatalf("got %d spans, %d counters, %d gauges; want 11/2/1", spans, counters, gauges)
+	if spans != 11 || counters != 2 || gauges != 1 || hists != 2 {
+		t.Fatalf("got %d spans, %d counters, %d gauges, %d histograms; want 11/2/1/2", spans, counters, gauges, hists)
+	}
+}
+
+// TestExportersDeterministic pins the sorted-key-order contract of every
+// metric-bearing output: two serializations of the same trace are
+// byte-identical, and counters, gauges and histograms each appear in
+// sorted name order in the JSONL log, the self-profile and the expvar
+// snapshot's JSON form.
+func TestExportersDeterministic(t *testing.T) {
+	tr := sampleTrace()
+	// Deliberately interleave late registrations out of order.
+	tr.Add("a.counter", 1)
+	tr.Observe("a.hist", time.Millisecond)
+	tr.Gauge("a.gauge", 2)
+
+	for name, write := range map[string]func(*strings.Builder) error{
+		"jsonl":   func(b *strings.Builder) error { return tr.WriteJSONL(b) },
+		"profile": func(b *strings.Builder) error { return tr.WriteSelfProfile(b) },
+		"chrome":  func(b *strings.Builder) error { return tr.WriteChromeTrace(b) },
+	} {
+		var x, y strings.Builder
+		if err := write(&x); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := write(&y); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if x.String() != y.String() {
+			t.Errorf("%s: two exports of the same trace differ", name)
+		}
+	}
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		var ev jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type != "span" {
+			order = append(order, ev.Type+"/"+ev.Name)
+		}
+	}
+	want := []string{
+		"counter/a.counter", "counter/mstore.hits", "counter/mstore.misses",
+		"gauge/a.gauge", "gauge/pool.utilization",
+		"histogram/a.hist", "histogram/measure.latency", "histogram/sim.workload.latency",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("metric lines = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("metric line %d = %q, want %q (full: %v)", i, order[i], want[i], order)
+		}
+	}
+
+	s1, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := json.Marshal(tr.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1) != string(s2) {
+		t.Error("Snapshot JSON not deterministic")
 	}
 }
 
@@ -139,6 +218,9 @@ func TestSelfProfile(t *testing.T) {
 		"mstore.hits",
 		"gauges:",
 		"pool.utilization",
+		"histograms:",
+		"measure.latency",
+		"sim.workload.latency",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("self-profile missing %q:\n%s", want, got)

@@ -55,9 +55,9 @@ func (systemClock) Now() time.Time { return time.Now() }
 // SystemClock returns the real wall clock (the default for New).
 func SystemClock() Clock { return systemClock{} }
 
-// A Trace collects spans, counters and gauges for one pipeline run.
-// The zero value is not used; construct with New. A nil *Trace is the
-// disabled state: every method no-ops.
+// A Trace collects spans, counters, gauges and histograms for one
+// pipeline run. The zero value is not used; construct with New. A nil
+// *Trace is the disabled state: every method no-ops.
 type Trace struct {
 	clock    Clock
 	progress io.Writer
@@ -68,6 +68,12 @@ type Trace struct {
 	active   []*Span // open sequential spans (the Trace.Span stack)
 	counters map[string]int64
 	gauges   map[string]float64
+
+	// Histograms live behind their own RWMutex so the record path (a
+	// read-locked lookup plus atomics, see histogram.go) never contends
+	// with span bookkeeping.
+	histMu     sync.RWMutex
+	histograms map[string]*Histogram
 }
 
 // An Option configures New.
@@ -83,9 +89,10 @@ func WithProgress(w io.Writer) Option { return func(t *Trace) { t.progress = w }
 // New returns an enabled trace.
 func New(opts ...Option) *Trace {
 	t := &Trace{
-		clock:    systemClock{},
-		counters: map[string]int64{},
-		gauges:   map[string]float64{},
+		clock:      systemClock{},
+		counters:   map[string]int64{},
+		gauges:     map[string]float64{},
+		histograms: map[string]*Histogram{},
 	}
 	for _, o := range opts {
 		o(t)
@@ -269,20 +276,33 @@ func (t *Trace) Now() time.Time {
 	return t.clock.Now()
 }
 
-// Snapshot returns the current counters and gauges as a flat map, suitable
-// for expvar publishing.
+// Snapshot returns the current counters, gauges and histogram summaries as
+// a flat map, suitable for expvar publishing. Histograms appear as nested
+// maps (count, sum and the headline quantiles in nanoseconds). Key order
+// is deterministic for any JSON rendering: encoding/json sorts map keys,
+// and Metrics is the explicitly ordered form.
 func (t *Trace) Snapshot() map[string]any {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make(map[string]any, len(t.counters)+len(t.gauges))
-	for name, v := range t.counters {
-		out[name] = v
+	snap := t.Metrics()
+	out := make(map[string]any, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+	for _, c := range snap.Counters {
+		out[c.Name] = c.Value
 	}
-	for name, v := range t.gauges {
-		out[name] = v
+	for _, g := range snap.Gauges {
+		out[g.Name] = g.Value
+	}
+	for _, h := range snap.Histograms {
+		out[h.Name] = map[string]any{
+			"count":  h.Count,
+			"sum_ns": h.Sum,
+			"min_ns": h.Min,
+			"max_ns": h.Max,
+			"p50_ns": h.Quantile(0.50),
+			"p95_ns": h.Quantile(0.95),
+			"p99_ns": h.Quantile(0.99),
+		}
 	}
 	return out
 }

@@ -170,6 +170,8 @@ func TestDisabledPathAllocationFree(t *testing.T) {
 		sp.End()
 		tr.Add("ctr", 1)
 		tr.Gauge("g", 0.5)
+		tr.Observe("h", time.Millisecond)
+		tr.Histogram("h").ObserveDuration(w.Duration())
 		_ = sp.Trace()
 		_ = w.Duration()
 	})

@@ -226,6 +226,7 @@ func Run(p workload.Profile, m *machine.Config, opts Options) (*Result, error) {
 	pspan := sp.Child("prewarm", "")
 	err := e.setup()
 	pspan.End()
+	sp.Trace().Observe("sim.phase.prewarm", pspan.Duration())
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +243,7 @@ func Run(p workload.Profile, m *machine.Config, opts Options) (*Result, error) {
 	e.nextSample = e.opts.SampleInterval
 	e.run(perCore)
 	rspan.End()
+	sp.Trace().Observe("sim.phase.run", rspan.Duration())
 	res, err := e.finish()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,208 @@
+// Package telemetry is the pipeline's live service plane: it renders an
+// obs.Trace's counters, gauges and latency histograms in the Prometheus
+// text exposition format and serves them — together with health,
+// build/run info, expvar and net/http/pprof — from a single HTTP mux,
+// so one -telemetry-addr flag exposes everything a scraper or a human
+// needs while a run is in flight.
+//
+// Naming follows the Prometheus conventions: every family carries the
+// charnet_ prefix, counters end in _total, and duration histograms are
+// converted from the trace's nanoseconds to base-unit _seconds families
+// with cumulative le buckets. Each histogram additionally exports
+// companion gauge families — <base>_min, <base>_max, and
+// <base>_quantile{quantile="0.5"|"0.95"|"0.99"} — so dashboards can
+// read tails without PromQL histogram_quantile. Output is deterministic
+// for a given snapshot: families render in section order (build/run
+// info, counters, gauges, histograms), each section sorted by name.
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Info describes the run being served, exported as the
+// charnet_run_info gauge and the /infoz document.
+type Info struct {
+	Command  string `json:"command"`
+	Fidelity string `json:"fidelity"` // "quick" or "full"
+	Format   string `json:"format"`
+	Workers  int    `json:"workers"` // 0 = GOMAXPROCS
+}
+
+// buildInfo is resolved once from the binary's embedded build metadata.
+var buildInfoOnce = sync.OnceValue(func() (bi struct{ GoVersion, Revision string }) {
+	bi.GoVersion, bi.Revision = "unknown", "unknown"
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			bi.Revision = s.Value
+		}
+	}
+	return bi
+})
+
+// promName maps a dotted obs metric name to a Prometheus metric name:
+// every character outside [a-zA-Z0-9_] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the text exposition format.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+const nsPerSec = 1e9
+
+// WriteInfo writes the charnet_build_info and charnet_run_info gauge
+// families.
+func WriteInfo(w io.Writer, info Info) error {
+	bi := buildInfoOnce()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP charnet_build_info Build metadata of the serving binary.\n")
+	fmt.Fprintf(&b, "# TYPE charnet_build_info gauge\n")
+	fmt.Fprintf(&b, "charnet_build_info{go_version=%q,revision=%q} 1\n",
+		promLabel(bi.GoVersion), promLabel(bi.Revision))
+	fmt.Fprintf(&b, "# HELP charnet_run_info The command and configuration of the run in flight.\n")
+	fmt.Fprintf(&b, "# TYPE charnet_run_info gauge\n")
+	fmt.Fprintf(&b, "charnet_run_info{command=%q,fidelity=%q,format=%q,workers=\"%d\"} 1\n",
+		promLabel(info.Command), promLabel(info.Fidelity), promLabel(info.Format), info.Workers)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WritePrometheus writes a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as _total counter
+// families, gauges as gauge families, and histograms as _seconds
+// histogram families with cumulative le buckets plus the companion
+// _min/_max/_quantile gauges. A zero-value snapshot writes nothing.
+func WritePrometheus(w io.Writer, snap obs.MetricsSnapshot) error {
+	var b strings.Builder
+	for _, c := range snap.Counters {
+		name := "charnet_" + promName(c.Name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		fmt.Fprintf(&b, "%s %d\n", name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := "charnet_" + promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(&b, "%s %s\n", name, promFloat(g.Value))
+	}
+	for _, h := range snap.Histograms {
+		writeHistogram(&b, h)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram family and its companions. The
+// obs buckets are half-open [Lo, Hi) in nanoseconds; each bucket's
+// exclusive Hi becomes the cumulative le bound in seconds, an
+// approximation within one unit-wide bucket of the inclusive-le
+// Prometheus contract.
+func writeHistogram(b *strings.Builder, h obs.HistogramSnapshot) {
+	base := "charnet_" + promName(h.Name) + "_seconds"
+	fmt.Fprintf(b, "# TYPE %s histogram\n", base)
+	var cum int64
+	for _, bk := range h.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", base, promFloat(bk.Hi/nsPerSec), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", base, h.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", base, promFloat(float64(h.Sum)/nsPerSec))
+	fmt.Fprintf(b, "%s_count %d\n", base, h.Count)
+	fmt.Fprintf(b, "# TYPE %s_min gauge\n", base)
+	fmt.Fprintf(b, "%s_min %s\n", base, promFloat(float64(h.Min)/nsPerSec))
+	fmt.Fprintf(b, "# TYPE %s_max gauge\n", base)
+	fmt.Fprintf(b, "%s_max %s\n", base, promFloat(float64(h.Max)/nsPerSec))
+	fmt.Fprintf(b, "# TYPE %s_quantile gauge\n", base)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(b, "%s_quantile{quantile=%q} %s\n",
+			base, promFloat(q), promFloat(h.Quantile(q)/nsPerSec))
+	}
+}
+
+// NewMux builds the service-plane mux:
+//
+//	/metrics        Prometheus text exposition of tr's metrics
+//	/healthz        liveness probe ("ok")
+//	/infoz          run + build info as JSON
+//	/debug/vars     expvar
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// A nil trace is valid: /metrics then serves only the info families, so
+// the service plane stays up even when tracing is off.
+func NewMux(tr *obs.Trace, info Info) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		if err := WriteInfo(&b, info); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if err := WritePrometheus(&b, tr.Metrics()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return // client went away; nothing to do
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := io.WriteString(w, "ok\n"); err != nil {
+			return // client went away; nothing to do
+		}
+	})
+	mux.HandleFunc("/infoz", func(w http.ResponseWriter, r *http.Request) {
+		bi := buildInfoOnce()
+		doc := struct {
+			Info
+			GoVersion string `json:"go_version"`
+			Revision  string `json:"revision"`
+		}{Info: info, GoVersion: bi.GoVersion, Revision: bi.Revision}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(doc); err != nil {
+			return // client went away; nothing to do
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -15,6 +15,11 @@
 #   trace smoke  charnet -trace-out on a real driver, validated by
 #                cmd/tracecheck, with stdout checked byte-identical to an
 #                untraced run (the observability determinism contract)
+#   telemetry    charnet -telemetry-addr on a real driver, its /metrics
+#   smoke        endpoint scraped mid-run and validated by
+#                cmd/metricscheck (Prometheus format, histogram
+#                invariants, required latency families), with stdout
+#                again checked byte-identical to an untraced run
 #   render smoke charnet -full all diffed byte-for-byte against
 #                docs/full_output.txt (the artifact text renderer must
 #                reproduce the legacy renderings exactly), then the same
@@ -68,6 +73,37 @@ fi
 go run ./cmd/tracecheck "$tracedir/trace.json"
 grep -q "self-profile" "$tracedir/profile.txt" || {
     echo "missing self-profile on stderr" >&2; exit 1; }
+
+echo "== telemetry smoke (live /metrics mid-run + metricscheck + stdout equivalence)"
+teledir="$workdir/telemetry"
+mkdir -p "$teledir"
+go build -o "$teledir/charnet" ./cmd/charnet
+go build -o "$teledir/metricscheck" ./cmd/metricscheck
+"$teledir/charnet" -telemetry-addr 127.0.0.1:0 -telemetry-out "$teledir/telemetry.json" \
+    -cache "$teledir/mstore" table4 > "$teledir/traced.txt" 2> "$teledir/stderr.txt" &
+telepid=$!
+teleaddr=""
+for _ in $(seq 1 100); do
+    teleaddr=$(sed -n 's|^charnet: telemetry: serving on http://||p' "$teledir/stderr.txt")
+    [[ -n "$teleaddr" ]] && break
+    sleep 0.05
+done
+if [[ -z "$teleaddr" ]]; then
+    echo "telemetry server never announced its address:" >&2
+    cat "$teledir/stderr.txt" >&2
+    exit 1
+fi
+"$teledir/metricscheck" -url "http://$teleaddr/metrics" -retries 200 -interval 25ms \
+    -want charnet_measure_latency_seconds,charnet_sim_workload_latency_seconds,charnet_pool_queue_wait_seconds,charnet_sim_phase_run_seconds,charnet_mstore_get_miss_latency_seconds
+wait "$telepid"
+"$teledir/charnet" -cache "$teledir/mstore" table4 > "$teledir/plain.txt"
+if ! cmp -s "$teledir/traced.txt" "$teledir/plain.txt"; then
+    echo "telemetry serving changed experiment stdout:" >&2
+    diff "$teledir/plain.txt" "$teledir/traced.txt" >&2 || true
+    exit 1
+fi
+grep -q '"name": "telemetry"' "$teledir/telemetry.json" || {
+    echo "telemetry run-report artifact missing" >&2; exit 1; }
 
 echo "== render smoke (-full all vs docs/full_output.txt, then -format json | artifactcheck)"
 renderdir="$workdir/render"
