@@ -3,15 +3,17 @@
 //
 // Usage:
 //
-//	go test -run=NONE -bench=. ./... | benchdiff record -rev REV [-phases FILE] -out BENCH_REV.json
+//	go test -run=NONE -bench=. ./... | benchdiff record -rev REV [-phases FILE[,FILE...]] -out BENCH_REV.json
 //	benchdiff compare [-tol 0.10] [-phase-tol 0.35] OLD.json NEW.json
 //
 // record parses standard `go test -bench` output from stdin and writes a
 // JSON record mapping benchmark names to ns/op (the minimum across -count
 // repetitions, the conventional low-noise statistic). With -phases it also
-// merges a `charnet -profile-json` phase file into the record as
-// "phase:<name>" entries, so a regression localizes to a pipeline phase
-// (table3, fig11, ...) rather than just "the pipeline".
+// merges one or more phase files (comma-separated) into the record as
+// "phase:<name>" entries: `charnet -profile-json` wall-times and
+// `charnetd -selftest-json` serving latencies share the format, so a
+// regression localizes to a pipeline phase (table3, fig11, ...) or a
+// serving percentile (serve.loadgen.p99) rather than just "the pipeline".
 //
 // compare exits nonzero if any benchmark present in both records is
 // slower in NEW by more than the tolerance (default 10%; "phase:" entries
@@ -67,7 +69,7 @@ func record(args []string) error {
 	rev := fs.String("rev", "unknown", "revision label for the record")
 	note := fs.String("note", "", "free-form annotation")
 	out := fs.String("out", "", "output file (default stdout)")
-	phases := fs.String("phases", "", "charnet -profile-json file to merge as phase:<name> entries")
+	phases := fs.String("phases", "", "comma-separated phase files ({\"phases\":{name:ns}}) to merge as phase:<name> entries")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,10 +95,8 @@ func record(args []string) error {
 	if len(rec.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
-	if *phases != "" {
-		if err := mergePhases(&rec, *phases); err != nil {
-			return err
-		}
+	if err := mergePhaseList(&rec, *phases); err != nil {
+		return err
 	}
 	b, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -114,8 +114,23 @@ func record(args []string) error {
 // come from one run each, so compare applies the looser -phase-tol.
 const phasePrefix = "phase:"
 
-// mergePhases folds a `charnet -profile-json` file ({"phases": {name:
-// nanoseconds}}) into the record under phase-prefixed names.
+// mergePhaseList folds every file in a comma-separated -phases spec;
+// empty elements (and an empty spec) are skipped.
+func mergePhaseList(rec *Record, spec string) error {
+	for _, path := range strings.Split(spec, ",") {
+		if path == "" {
+			continue
+		}
+		if err := mergePhases(rec, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergePhases folds one phases file ({"phases": {name: nanoseconds}} —
+// `charnet -profile-json` or `charnetd -selftest-json`) into the record
+// under phase-prefixed names.
 func mergePhases(rec *Record, path string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {

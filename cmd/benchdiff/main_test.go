@@ -59,6 +59,37 @@ func TestMergePhases(t *testing.T) {
 	}
 }
 
+// TestMergePhaseList: a comma-separated -phases spec folds every file,
+// matching the bench.sh pattern of pipeline wall-times plus the daemon
+// selftest latencies in one record.
+func TestMergePhaseList(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	pipeline := write("pipeline.json", `{"phases":{"table3":103318454}}`)
+	loadgen := write("loadgen.json", `{"phases":{"serve.loadgen.p99":7300000}}`)
+
+	rec := Record{Benchmarks: map[string]float64{}}
+	if err := mergePhaseList(&rec, pipeline+","+loadgen); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Benchmarks["phase:table3"] != 103318454 || rec.Benchmarks["phase:serve.loadgen.p99"] != 7300000 {
+		t.Errorf("merged record = %v, want both files' phases", rec.Benchmarks)
+	}
+
+	if err := mergePhaseList(&Record{Benchmarks: map[string]float64{}}, ""); err != nil {
+		t.Errorf("empty spec should be a no-op, got %v", err)
+	}
+	if err := mergePhaseList(&rec, pipeline+",missing.json"); err == nil {
+		t.Error("missing file in the list should be an error")
+	}
+}
+
 // TestPhaseTolerance: a 20% slowdown regresses a benchmark (tol 10%) but
 // not a phase entry (phase-tol 35%).
 func TestPhaseTolerance(t *testing.T) {

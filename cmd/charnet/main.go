@@ -129,7 +129,7 @@ func main() {
 		if *full {
 			fidelity = "full"
 		}
-		info := telemetry.Info{Command: flag.Arg(0), Fidelity: fidelity, Format: *format, Workers: *workers}
+		info := telemetry.Info{Role: "cli", Command: flag.Arg(0), Fidelity: fidelity, Format: *format, Workers: *workers}
 		stop, err := serveTelemetry(serveAddr, tr, info)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "charnet: telemetry: %v\n", err)

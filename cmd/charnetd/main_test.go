@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+func daemonLab(tr *obs.Trace) *experiments.Lab {
+	lab := experiments.NewLab(experiments.Config{Instructions: 2000})
+	lab.Obs = tr
+	return lab
+}
+
+func daemonConfig() serve.Config {
+	return serve.Config{Workers: 2, QueueDepth: 8,
+		Info: telemetry.Info{Role: "daemon", Command: "serve", Fidelity: "quick", Format: "json"}}
+}
+
+// TestRunDaemonServesAndDrains boots the daemon on an ephemeral port,
+// hits the API and the folded telemetry plane, then cancels the serve
+// context and checks the graceful exit.
+func TestRunDaemonServesAndDrains(t *testing.T) {
+	tr := obs.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- runDaemon(ctx, daemonLab(tr), tr, daemonConfig(), "127.0.0.1:0", nil, io.Discard)
+	}()
+
+	// The serve.workers gauge is published when the serve core comes up.
+	waitFor(t, func() bool { return gaugeValue(tr, "serve.workers") == 2 }, "daemon to start")
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runDaemon returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain after cancellation")
+	}
+}
+
+// TestRunDaemonSelftest runs the full self-test loop: serve, load
+// generation against the daemon's own endpoint, summary line and phases
+// file, then exit without an external signal.
+func TestRunDaemonSelftest(t *testing.T) {
+	tr := obs.New()
+	phases := filepath.Join(t.TempDir(), "loadgen.json")
+	var out strings.Builder
+	err := runDaemon(context.Background(), daemonLab(tr), tr, daemonConfig(), "127.0.0.1:0",
+		&selftestOpts{requests: 8, concurrency: 2, jsonPath: phases}, &out)
+	if err != nil {
+		t.Fatalf("selftest run: %v", err)
+	}
+	if !strings.Contains(out.String(), "selftest: 8 requests, 0 errors") {
+		t.Fatalf("selftest summary = %q", out.String())
+	}
+	raw, err := os.ReadFile(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Phases map[string]float64 `json:"phases"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("phases file not JSON: %v\n%s", err, raw)
+	}
+	for _, k := range []string{"serve.loadgen.p50", "serve.loadgen.p99", "serve.loadgen.ns_per_req"} {
+		if doc.Phases[k] <= 0 {
+			t.Fatalf("phase %s = %v, want > 0 in %s", k, doc.Phases[k], raw)
+		}
+	}
+	// The loadgen's latencies landed on the daemon trace alongside the
+	// serving metrics, so the selftest is visible on /metrics too.
+	if tr.Counter("serve.requests.measure") < 8 {
+		t.Fatalf("serve.requests.measure = %d, want >= 8", tr.Counter("serve.requests.measure"))
+	}
+}
+
+// TestSelftestConfig pins the nil-vs-options flag mapping.
+func TestSelftestConfig(t *testing.T) {
+	if selftestConfig(false, 1, 1, "x") != nil {
+		t.Fatal("disabled selftest should map to nil")
+	}
+	st := selftestConfig(true, 5, 2, "p.json")
+	if st == nil || st.requests != 5 || st.concurrency != 2 || st.jsonPath != "p.json" {
+		t.Fatalf("selftest opts = %+v", st)
+	}
+}
+
+// TestRunDaemonBindFailure: an unusable address fails fast instead of
+// leaking the serve core.
+func TestRunDaemonBindFailure(t *testing.T) {
+	tr := obs.New()
+	err := runDaemon(context.Background(), daemonLab(tr), tr, daemonConfig(), "256.256.256.256:1", nil, io.Discard)
+	if err == nil {
+		t.Fatal("bad address should fail")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func gaugeValue(tr *obs.Trace, name string) float64 {
+	for _, g := range tr.Metrics().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}

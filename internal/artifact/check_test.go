@@ -1,0 +1,74 @@
+package artifact
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCheckJSONAcceptsRendererOutput: whatever WriteJSON emits for a
+// representative artifact must validate cleanly — the checker and the
+// renderer describe the same schema.
+func TestCheckJSONAcceptsRendererOutput(t *testing.T) {
+	a := &Artifact{Name: "demo", Title: "a demo artifact", Paper: "test"}
+	a.Add(
+		&Table{
+			Name:    "t",
+			Columns: []Column{{Name: "workload"}, {Name: "ipc"}},
+			Rows: [][]Value{
+				{Str("System.Linq"), Number(1.25)},
+				{Str("Json"), Number(0.75)},
+			},
+		},
+		Bars("b", "bars", "x", []string{"a", "b"}, []float64{1, 2}, 10),
+		&Scatter{Name: "s", Rows: 2, Cols: 2, Groups: []ScatterGroup{
+			{Name: "g", Glyph: "*", Points: [][2]float64{{0, 1}}},
+		}},
+		&Tree{Name: "d", Root: &TreeNode{Label: "leaf"}},
+		NoteLine("n", "a prose line"),
+	)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []*Artifact{a}); err != nil {
+		t.Fatal(err)
+	}
+	arts, payloads, problems := CheckJSON(&buf)
+	if len(problems) != 0 {
+		t.Fatalf("renderer output failed its own schema: %v", problems)
+	}
+	if arts != 1 || payloads != 5 {
+		t.Fatalf("counted %d artifacts / %d payloads, want 1 / 5", arts, payloads)
+	}
+}
+
+// TestCheckJSONRejects: each malformation class is reported.
+func TestCheckJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of some problem
+	}{
+		{"not an array", `{"name":"x"}`, "not a JSON artifact array"},
+		{"empty array", `[]`, "empty artifact array"},
+		{"trailing data", `[{"name":"a","title":"t","payloads":[{"kind":"note","data":{"name":"n","lines":["x"]}}]}] []`, "trailing data"},
+		{"empty artifact name", `[{"name":"","title":"t","payloads":[{"kind":"note","data":{"name":"n","lines":["x"]}}]}]`, "empty name"},
+		{"unknown kind", `[{"name":"a","title":"t","payloads":[{"kind":"blob","data":{}}]}]`, "unknown kind"},
+		{"ragged table", `[{"name":"a","title":"t","payloads":[{"kind":"table","data":{"name":"tb","columns":[{"name":"c"}],"rows":[["x","y"]]}}]}]`, "cells for"},
+		{"nan string leak", `[{"name":"a","title":"t","payloads":[{"kind":"table","data":{"name":"tb","columns":[{"name":"c"}],"rows":[["NaN"]]}}]}]`, "non-finite"},
+		{"rootless tree", `[{"name":"a","title":"t","payloads":[{"kind":"tree","data":{"name":"tr","root":null}}]}]`, "no root"},
+		{"duplicate payloads", `[{"name":"a","title":"t","payloads":[{"kind":"note","data":{"name":"n","lines":["x"]}},{"kind":"note","data":{"name":"n","lines":["y"]}}]}]`, "duplicate payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, problems := CheckJSON(strings.NewReader(tc.doc))
+			found := false
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("problems %v do not mention %q", problems, tc.want)
+			}
+		})
+	}
+}

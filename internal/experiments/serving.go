@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// SuiteNames lists the measurable suites by wire name, in a fixed order.
+// These are the values a serving request's "suite" field accepts; each
+// maps to one of the Lab's cached suite-measurement methods.
+func SuiteNames() []string {
+	return []string{"dotnet", "dotnet-individual", "aspnet", "spec"}
+}
+
+// MeasureSuiteByName routes a wire-named suite to the Lab method that
+// measures it, sharing the Lab's per-key singleflight and caches, so
+// concurrent identical serving requests coalesce into one measurement.
+func (l *Lab) MeasureSuiteByName(ctx context.Context, suite string, m *machine.Config) ([]core.Measurement, error) {
+	switch suite {
+	case "dotnet":
+		return l.DotNetCategories(ctx, m)
+	case "dotnet-individual":
+		return l.DotNetIndividual(ctx, m)
+	case "aspnet":
+		return l.AspNet(ctx, m)
+	case "spec":
+		return l.Spec(ctx, m)
+	}
+	return nil, fmt.Errorf("unknown suite %q (want one of %v)", suite, SuiteNames())
+}
+
+// FilterMeasurements returns the measurements for the named workloads, in
+// the given order, skipping names the suite does not contain. It is the
+// exported form of the subset selection the Table IV drivers use, for
+// serving requests that ask for specific workloads.
+func FilterMeasurements(ms []core.Measurement, names []string) []core.Measurement {
+	return subsetMeasurements(ms, names)
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestMeasureSuiteByNameRoutes: every published suite name measures, the
+// result matches the direct method call (same Lab cache key), and an
+// unknown name errors with the roster.
+func TestMeasureSuiteByNameRoutes(t *testing.T) {
+	lab := NewLab(Config{Instructions: 2000, DotNetIndividualLimit: 5})
+	m := machine.CoreI9()
+	ctx := context.Background()
+	for _, suite := range SuiteNames() {
+		ms, err := lab.MeasureSuiteByName(ctx, suite, m)
+		if err != nil {
+			t.Fatalf("suite %q: %v", suite, err)
+		}
+		if len(ms) == 0 {
+			t.Fatalf("suite %q: no measurements", suite)
+		}
+	}
+	// The by-name route and the direct method must share one cache entry:
+	// identical vectors, no divergence.
+	direct, err := lab.AspNet(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed, err := lab.MeasureSuiteByName(ctx, "aspnet", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(routed) {
+		t.Fatalf("routed %d measurements, direct %d", len(routed), len(direct))
+	}
+	for i := range direct {
+		if direct[i].Vector != routed[i].Vector {
+			t.Fatalf("measurement %d diverges between routed and direct calls", i)
+		}
+	}
+	if _, err := lab.MeasureSuiteByName(ctx, "nope", m); err == nil || !strings.Contains(err.Error(), "unknown suite") {
+		t.Fatalf("unknown suite returned %v, want unknown-suite error", err)
+	}
+}
+
+// TestFilterMeasurements: order follows the request, unknown names skip.
+func TestFilterMeasurements(t *testing.T) {
+	lab := NewLab(Config{Instructions: 2000})
+	ms, err := lab.DotNetCategories(context.Background(), machine.CoreI9())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FilterMeasurements(ms, []string{"System.Linq", "no-such-workload", "System.Runtime"})
+	if len(got) != 2 {
+		t.Fatalf("filtered to %d measurements, want 2", len(got))
+	}
+	if got[0].Workload.Name != "System.Linq" || got[1].Workload.Name != "System.Runtime" {
+		t.Fatalf("filter order wrong: %q, %q", got[0].Workload.Name, got[1].Workload.Name)
+	}
+}

@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LoadGenConfig drives RunLoadGen, the daemon's closed-loop load
+// generator: Concurrency workers issue Requests total requests
+// back-to-back (each worker sends the next request as soon as its
+// previous response is fully read), the pattern a saturating client pool
+// produces.
+type LoadGenConfig struct {
+	// URL is the target endpoint, e.g. http://host:port/v1/measure.
+	URL string
+	// Body is the JSON request body; empty switches the probe to GET.
+	Body string
+	// Requests is the total request count (default 32).
+	Requests int
+	// Concurrency is the closed-loop worker count (default 4).
+	Concurrency int
+}
+
+// LoadGenResult summarizes one closed-loop run. Latencies are wall time
+// from request write to full response read, taken from the
+// serve.loadgen.latency histogram on the supplied trace.
+type LoadGenResult struct {
+	Requests   int           `json:"requests"`
+	Errors     int           `json:"errors"` // transport errors + non-200 statuses
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	P50        time.Duration `json:"p50_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	Throughput float64       `json:"requests_per_sec"`
+}
+
+// RunLoadGen runs the closed loop against cfg.URL and publishes
+// latencies into tr ("serve.loadgen.latency" histogram,
+// "serve.loadgen.errors" counter). The trace also supplies the clock, so
+// the generator stays inside the wallclock lint boundary.
+func RunLoadGen(ctx context.Context, tr *obs.Trace, cfg LoadGenConfig) (*LoadGenResult, error) {
+	if tr == nil {
+		tr = obs.New()
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 32
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Concurrency > cfg.Requests {
+		cfg.Concurrency = cfg.Requests
+	}
+
+	client := &http.Client{}
+	var next atomic.Int64
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	start := tr.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if int(next.Add(1)) > cfg.Requests {
+					return
+				}
+				if err := probeOnce(ctx, client, tr, cfg); err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					errs.Add(1)
+					tr.Add("serve.loadgen.errors", 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := tr.Now().Sub(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &LoadGenResult{
+		Requests: cfg.Requests,
+		Errors:   int(errs.Load()),
+		Elapsed:  elapsed,
+	}
+	for _, h := range tr.Metrics().Histograms {
+		if h.Name == "serve.loadgen.latency" {
+			res.P50 = time.Duration(h.Quantile(0.5))
+			res.P99 = time.Duration(h.Quantile(0.99))
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.Throughput = float64(cfg.Requests-res.Errors) / s
+	}
+	return res, nil
+}
+
+// probeOnce issues one request and fully drains the response.
+func probeOnce(ctx context.Context, client *http.Client, tr *obs.Trace, cfg LoadGenConfig) error {
+	method, body := http.MethodGet, io.Reader(nil)
+	if cfg.Body != "" {
+		method, body = http.MethodPost, strings.NewReader(cfg.Body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cfg.URL, body)
+	if err != nil {
+		return err
+	}
+	if cfg.Body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := tr.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	closeErr := resp.Body.Close()
+	tr.Observe("serve.loadgen.latency", tr.Now().Sub(t0))
+	if copyErr != nil {
+		return copyErr
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// WritePhases emits the result in benchdiff's -phases format —
+// {"phases":{name: ns}} with lower-is-better nanosecond values — so
+// scripts/bench.sh can fold serving latency into the bench record next
+// to the go test -bench phases.
+func (r *LoadGenResult) WritePhases(w io.Writer) error {
+	nsPerReq := 0.0
+	if done := r.Requests - r.Errors; done > 0 {
+		nsPerReq = float64(r.Elapsed.Nanoseconds()) / float64(done)
+	}
+	doc := struct {
+		Phases map[string]float64 `json:"phases"`
+	}{Phases: map[string]float64{
+		"serve.loadgen.p50":        float64(r.P50.Nanoseconds()),
+		"serve.loadgen.p99":        float64(r.P99.Nanoseconds()),
+		"serve.loadgen.ns_per_req": nsPerReq,
+	}}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

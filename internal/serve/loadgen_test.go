@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunLoadGen runs the closed loop against a live server and checks
+// the published summary and its benchdiff phases rendering.
+func TestRunLoadGen(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 4, QueueDepth: 32})
+
+	gen := obs.New()
+	res, err := RunLoadGen(context.Background(), gen, LoadGenConfig{
+		URL:         srv.URL + "/v1/measure",
+		Body:        `{"suite":"aspnet"}`,
+		Requests:    16,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 16 || res.Errors != 0 {
+		t.Fatalf("result = %+v, want 16 requests, 0 errors", res)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.Throughput <= 0 {
+		t.Fatalf("degenerate latency summary: %+v", res)
+	}
+	if n := gen.Counter("serve.loadgen.errors"); n != 0 {
+		t.Fatalf("serve.loadgen.errors = %d, want 0", n)
+	}
+
+	var b strings.Builder
+	if err := res.WritePhases(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Phases map[string]float64 `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("phases doc not JSON: %v\n%s", err, b.String())
+	}
+	for _, k := range []string{"serve.loadgen.p50", "serve.loadgen.p99", "serve.loadgen.ns_per_req"} {
+		if doc.Phases[k] <= 0 {
+			t.Fatalf("phase %s = %v, want > 0 in:\n%s", k, doc.Phases[k], b.String())
+		}
+	}
+}
+
+// TestRunLoadGenCountsErrors: non-200 responses are failures, not
+// silently folded into the latency summary's success count.
+func TestRunLoadGenCountsErrors(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	_, srv := newTestServer(t, lab, tr, Config{})
+
+	res, err := RunLoadGen(context.Background(), obs.New(), LoadGenConfig{
+		URL:      srv.URL + "/v1/drivers/no-such-driver",
+		Requests: 4, Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 4 || res.Throughput != 0 {
+		t.Fatalf("result = %+v, want 4 errors and zero throughput", res)
+	}
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic lazily-refilled token bucket. It never reads
+// the wall clock itself — callers pass now (the serving trace's clock),
+// which keeps the limiter deterministic under obs.WithClock in tests and
+// honors the wallclock lint boundary.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now time.Time) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: now}
+}
+
+// allow consumes one token if available. When the bucket is empty it
+// reports false plus how long until one token refills — the Retry-After
+// hint.
+func (b *tokenBucket) allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if elapsed := now.Sub(b.last); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucket pins the limiter arithmetic with synthetic clock
+// readings: burst consumption, lazy refill, the cap, and the
+// Retry-After deficit.
+func TestTokenBucket(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	b := newTokenBucket(2, 2, t0) // 2 tokens/s, capacity 2, starts full
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(t0); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, wait := b.allow(t0)
+	if ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("deficit wait = %v, want 500ms (one token at 2/s)", wait)
+	}
+
+	// 250ms refills half a token: still refused, deficit shrinks.
+	if ok, wait := b.allow(t0.Add(250 * time.Millisecond)); ok || wait != 250*time.Millisecond {
+		t.Fatalf("after 250ms: ok=%v wait=%v, want refused/250ms", ok, wait)
+	}
+	// Another 500ms tops it past one token.
+	if ok, _ := b.allow(t0.Add(750 * time.Millisecond)); !ok {
+		t.Fatal("refilled bucket refused a token")
+	}
+
+	// A long idle period caps at burst, not unbounded credit.
+	b2 := newTokenBucket(1000, 3, t0)
+	for i := 0; i < 3; i++ {
+		b2.allow(t0)
+	}
+	if ok, _ := b2.allow(t0); ok {
+		t.Fatal("drained bucket granted a token with no elapsed time")
+	}
+	later := t0.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b2.allow(later); ok {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("after long idle granted %d tokens, want burst cap 3", granted)
+	}
+
+	// A sub-1 burst floors at one token of capacity.
+	if b := newTokenBucket(0.5, 0, t0); b.burst != 1 {
+		t.Fatalf("burst floor = %v, want 1", b.burst)
+	}
+}

@@ -1,0 +1,715 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// quickLab is the shared fast-fidelity lab: 2000 instructions per
+// workload keeps a full suite measurement in tens of milliseconds while
+// exercising the whole pipeline.
+func quickLab(tr *obs.Trace) *experiments.Lab {
+	lab := experiments.NewLab(experiments.Config{Instructions: 2000})
+	lab.Obs = tr
+	return lab
+}
+
+// newTestServer wires a Server over lab behind an httptest listener and
+// registers ordered cleanup: listener first (so no handler still waits on
+// a worker), then the serve core.
+func newTestServer(t *testing.T, lab *experiments.Lab, tr *obs.Trace, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Info == (telemetry.Info{}) {
+		cfg.Info = telemetry.Info{Role: "daemon", Command: "serve", Fidelity: "quick", Format: "json"}
+	}
+	s := New(lab, tr, cfg)
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		srv.Close()
+		s.Close()
+	})
+	return s, srv
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp, body
+}
+
+func postJSON(t *testing.T, srv *httptest.Server, path, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST %s: read body: %v", path, err)
+	}
+	return resp, out
+}
+
+// checkArtifactBody validates a response body against the artifact JSON
+// schema shared with cmd/artifactcheck.
+func checkArtifactBody(t *testing.T, body []byte) {
+	t.Helper()
+	if _, _, problems := artifact.CheckJSON(bytes.NewReader(body)); len(problems) != 0 {
+		t.Fatalf("response body fails the artifact schema: %v\nbody:\n%s", problems, body)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func gaugeValue(tr *obs.Trace, name string) float64 {
+	for _, g := range tr.Metrics().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// TestEndpointsE2E drives every endpoint of a live server end to end:
+// happy paths validated against the artifact schema and the CLI's bytes,
+// error paths against their status codes, and the folded telemetry plane.
+func TestEndpointsE2E(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 2, QueueDepth: 8})
+
+	t.Run("drivers-list", func(t *testing.T) {
+		resp, body := get(t, srv, "/v1/drivers")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var doc struct {
+			Drivers []struct{ Name, Title, Paper string } `json:"drivers"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("listing not JSON: %v\n%s", err, body)
+		}
+		ds := experiments.Drivers()
+		if len(doc.Drivers) != len(ds) {
+			t.Fatalf("listed %d drivers, registry has %d", len(doc.Drivers), len(ds))
+		}
+		for i, d := range ds {
+			if doc.Drivers[i].Name != d.Name || doc.Drivers[i].Paper != d.Paper {
+				t.Fatalf("driver %d = %+v, want %s/%s (registry order)", i, doc.Drivers[i], d.Name, d.Paper)
+			}
+		}
+	})
+
+	t.Run("driver-run-matches-cli-bytes", func(t *testing.T) {
+		resp, body := get(t, srv, "/v1/drivers/fig1")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("content-type %q", ct)
+		}
+		checkArtifactBody(t, body)
+
+		// The exact bytes `charnet -format json fig1` prints: run the same
+		// driver on an identically configured lab and render through the
+		// same artifact.WriteJSON path the CLI uses.
+		d, ok := experiments.DriverByName("fig1")
+		if !ok {
+			t.Fatal("fig1 missing from registry")
+		}
+		res, err := d.Run(context.Background(), quickLab(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := artifact.WriteJSON(&want, []*artifact.Artifact{res.Artifact()}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(body, want.Bytes()) {
+			t.Fatalf("daemon body diverges from CLI rendering:\ndaemon:\n%s\ncli:\n%s", body, want.Bytes())
+		}
+	})
+
+	t.Run("driver-unknown", func(t *testing.T) {
+		resp, body := get(t, srv, "/v1/drivers/nope")
+		if resp.StatusCode != 404 {
+			t.Fatalf("status %d, want 404: %s", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("measure", func(t *testing.T) {
+		resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"aspnet"}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkArtifactBody(t, body)
+		// Identical requests are answered from the shared lab cache with
+		// identical bytes.
+		_, again := postJSON(t, srv, "/v1/measure", `{"suite":"aspnet"}`)
+		if !bytes.Equal(body, again) {
+			t.Fatal("two identical measure requests returned different bytes")
+		}
+	})
+
+	t.Run("measure-workload-filter", func(t *testing.T) {
+		resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"aspnet","workloads":["Websocket"]}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		checkArtifactBody(t, body)
+		var docs []struct {
+			Payloads []struct {
+				Data struct {
+					Rows [][]any `json:"rows"`
+				} `json:"data"`
+			} `json:"payloads"`
+		}
+		if err := json.Unmarshal(body, &docs); err != nil {
+			t.Fatal(err)
+		}
+		rows := docs[0].Payloads[0].Data.Rows
+		if len(rows) != 1 || rows[0][0] != "Websocket" {
+			t.Fatalf("filtered response has wrong rows: %s", body)
+		}
+	})
+
+	t.Run("measure-errors", func(t *testing.T) {
+		for _, tc := range []struct {
+			body string
+			want int
+		}{
+			{`not json`, 400},
+			{`{"suite":"aspnet","bogus":1}`, 400},
+			{`{"suite":"nope"}`, 400},
+			{`{"suite":"aspnet","machine":"ENIAC"}`, 400},
+			{`{"suite":"aspnet","workloads":["no-such-workload"]}`, 404},
+		} {
+			resp, body := postJSON(t, srv, "/v1/measure", tc.body)
+			if resp.StatusCode != tc.want {
+				t.Errorf("body %q: status %d, want %d: %s", tc.body, resp.StatusCode, tc.want, body)
+			}
+			var doc struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &doc); err != nil || doc.Error == "" {
+				t.Errorf("body %q: error response not {\"error\":...}: %s", tc.body, body)
+			}
+		}
+	})
+
+	t.Run("method-not-allowed", func(t *testing.T) {
+		if resp, _ := postJSON(t, srv, "/v1/drivers", `{}`); resp.StatusCode != 405 {
+			t.Errorf("POST /v1/drivers: status %d, want 405", resp.StatusCode)
+		}
+		if resp, _ := get(t, srv, "/v1/measure"); resp.StatusCode != 405 {
+			t.Errorf("GET /v1/measure: status %d, want 405", resp.StatusCode)
+		}
+	})
+
+	t.Run("telemetry-plane-folded", func(t *testing.T) {
+		if resp, body := get(t, srv, "/healthz"); resp.StatusCode != 200 || string(body) != "ok\n" {
+			t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+		}
+		_, body := get(t, srv, "/infoz")
+		var info struct {
+			Role string `json:"role"`
+		}
+		if err := json.Unmarshal(body, &info); err != nil || info.Role != "daemon" {
+			t.Errorf("/infoz role = %q (err %v), want daemon", info.Role, err)
+		}
+		_, body = get(t, srv, "/metrics")
+		for _, want := range []string{
+			`charnet_run_info{command="serve",fidelity="quick",format="json",role="daemon"`,
+			"charnet_serve_request_latency_seconds_count",
+			"charnet_serve_queue_wait_seconds_count",
+			"charnet_serve_requests_measure_total",
+			"charnet_serve_requests_driver_total",
+			"charnet_serve_tasks_done_total",
+			"charnet_serve_queue_depth",
+		} {
+			if !strings.Contains(string(body), want) {
+				t.Errorf("/metrics missing %q", want)
+			}
+		}
+	})
+
+	t.Run("stream-jsonl", func(t *testing.T) {
+		_, plain := postJSON(t, srv, "/v1/measure", `{"suite":"dotnet"}`)
+		resp, body := postJSON(t, srv, "/v1/measure?stream=jsonl", `{"suite":"dotnet"}`)
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content-type %q, want application/x-ndjson", ct)
+		}
+		var events []streamEvent
+		dec := json.NewDecoder(bytes.NewReader(body))
+		for {
+			var e streamEvent
+			if err := dec.Decode(&e); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("stream line not JSON: %v\n%s", err, body)
+			}
+			events = append(events, e)
+		}
+		if len(events) != 3 || events[0].Event != "queued" || events[1].Event != "running" || events[2].Event != "result" {
+			t.Fatalf("event sequence = %+v, want queued/running/result", events)
+		}
+		if events[0].Depth < 1 {
+			t.Errorf("queued event depth = %d, want >= 1", events[0].Depth)
+		}
+		checkArtifactBody(t, events[2].Artifacts)
+		// Embedding into the event line compacts the JSON; the content must
+		// still match the plain response exactly.
+		var compactPlain bytes.Buffer
+		if err := json.Compact(&compactPlain, plain); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(events[2].Artifacts), compactPlain.Bytes()) {
+			t.Error("streamed result artifacts differ from the plain response body")
+		}
+	})
+}
+
+// TestConcurrentMeasureCoalesces is the -race coalescing proof: N
+// concurrent identical measure requests on a cold lab collapse into one
+// underlying suite measurement through the Lab's singleflight, and every
+// caller receives identical bytes.
+func TestConcurrentMeasureCoalesces(t *testing.T) {
+	const n = 8
+	tr := obs.New()
+	lab := quickLab(tr)
+	_, srv := newTestServer(t, lab, tr, Config{Workers: n, QueueDepth: 2 * n})
+
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := srv.Client().Post(srv.URL+"/v1/measure", "application/json",
+				strings.NewReader(`{"suite":"dotnet"}`))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil || resp.StatusCode != 200 {
+				t.Errorf("request %d: status %d err %v", i, resp.StatusCode, err)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d returned different bytes than request 0", i)
+		}
+	}
+	checkArtifactBody(t, bodies[0])
+
+	// Every follower either joined the in-flight measurement (coalesced)
+	// or arrived after it finished (memcache hit); exactly one request —
+	// the leader — actually measured. The sum is timing-independent.
+	followers := tr.Counter("lab.singleflight.coalesced") + tr.Counter("lab.memcache.hits")
+	if followers != n-1 {
+		t.Fatalf("coalesced %d + memcache hits %d = %d followers, want %d",
+			tr.Counter("lab.singleflight.coalesced"), tr.Counter("lab.memcache.hits"), followers, n-1)
+	}
+}
+
+// gateCache is the fault-injection seam: a core.MeasurementCache whose
+// Get blocks until released, pinning a measurement task inside a worker
+// for as long as a test needs the queue to stay occupied.
+type gateCache struct {
+	release chan struct{}
+
+	mu   sync.Mutex
+	gets int
+	puts int
+}
+
+func newGateCache() *gateCache { return &gateCache{release: make(chan struct{})} }
+
+func (g *gateCache) Get(ps []workload.Profile, m *machine.Config, opts sim.Options) ([]core.Measurement, bool) {
+	<-g.release
+	g.mu.Lock()
+	g.gets++
+	g.mu.Unlock()
+	return nil, false
+}
+
+func (g *gateCache) Put(ps []workload.Profile, m *machine.Config, opts sim.Options, ms []core.Measurement) {
+	g.mu.Lock()
+	g.puts++
+	g.mu.Unlock()
+}
+
+func (g *gateCache) counts() (gets, puts int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gets, g.puts
+}
+
+// TestQueueFullSheds fills the admission queue with blocked requests and
+// checks the full saturation contract: accurate queue-depth gauge,
+// 503 + Retry-After shedding at the bound, and completion of everything
+// admitted once the blockage clears.
+func TestQueueFullSheds(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	gate := newGateCache()
+	lab.Store = gate
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 1, QueueDepth: 2})
+
+	type reply struct {
+		status int
+		body   []byte
+	}
+	send := func(ch chan reply) {
+		resp, err := srv.Client().Post(srv.URL+"/v1/measure", "application/json",
+			strings.NewReader(`{"suite":"aspnet"}`))
+		if err != nil {
+			t.Errorf("measure request: %v", err)
+			ch <- reply{}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		ch <- reply{resp.StatusCode, body}
+	}
+
+	// Leader occupies the single worker, blocked on the gate.
+	leader := make(chan reply, 1)
+	go send(leader)
+	waitFor(t, func() bool { return tr.Counter("serve.tasks.started") == 1 }, "leader to start")
+
+	// Two more admissions fill the queue; the gauge tracks them exactly.
+	q1, q2 := make(chan reply, 1), make(chan reply, 1)
+	go send(q1)
+	waitFor(t, func() bool { return gaugeValue(tr, "serve.queue.depth") == 1 }, "queue depth 1")
+	go send(q2)
+	waitFor(t, func() bool { return gaugeValue(tr, "serve.queue.depth") == 2 }, "queue depth 2")
+
+	// The next request finds the queue at its bound and is shed.
+	resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"aspnet"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated request: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Fatalf("saturated request Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if tr.Counter("serve.shed.queue") != 1 {
+		t.Fatalf("serve.shed.queue = %d, want 1", tr.Counter("serve.shed.queue"))
+	}
+
+	// Clearing the fault drains everything admitted, successfully.
+	close(gate.release)
+	for _, ch := range []chan reply{leader, q1, q2} {
+		r := <-ch
+		if r.status != 200 {
+			t.Fatalf("admitted request finished with status %d: %s", r.status, r.body)
+		}
+		checkArtifactBody(t, r.body)
+	}
+	if d := gaugeValue(tr, "serve.queue.depth"); d != 0 {
+		t.Fatalf("drained queue depth gauge = %v, want 0", d)
+	}
+}
+
+// fixedClock freezes the trace's clock so the token bucket never refills.
+type fixedClock struct{ at time.Time }
+
+func (c fixedClock) Now() time.Time { return c.at }
+
+// TestRateLimitSheds exhausts a burst-1 bucket under a frozen clock: the
+// first request is admitted, the second is shed with 429 and a
+// Retry-After sized to the refill deficit.
+func TestRateLimitSheds(t *testing.T) {
+	tr := obs.New(obs.WithClock(fixedClock{at: time.Unix(1700000000, 0)}))
+	lab := quickLab(nil) // lab keeps real timing; only the serve clock is frozen
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 1, QueueDepth: 4, RatePerSec: 0.5, Burst: 1})
+
+	resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"aspnet"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("first request: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, srv, "/v1/measure", `{"suite":"aspnet"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request: status %d, want 429: %s", resp.StatusCode, body)
+	}
+	// Empty bucket at 0.5 tokens/s: one token is 2 seconds away.
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	if tr.Counter("serve.shed.ratelimit") != 1 {
+		t.Fatalf("serve.shed.ratelimit = %d, want 1", tr.Counter("serve.shed.ratelimit"))
+	}
+}
+
+// TestDrainSemantics checks graceful shutdown: once Close begins, new
+// work is shed with 503 while the in-flight request runs to successful
+// completion, and Close returns only after the pool has drained.
+func TestDrainSemantics(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	gate := newGateCache()
+	lab.Store = gate
+	s := New(lab, tr, Config{Workers: 1, QueueDepth: 4,
+		Info: telemetry.Info{Role: "daemon", Command: "serve"}})
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	// Pin one request inside the worker.
+	inflight := make(chan struct {
+		status int
+		body   []byte
+	}, 1)
+	go func() {
+		resp, err := srv.Client().Post(srv.URL+"/v1/measure", "application/json",
+			strings.NewReader(`{"suite":"aspnet"}`))
+		if err != nil {
+			t.Errorf("in-flight request: %v", err)
+			inflight <- struct {
+				status int
+				body   []byte
+			}{}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		inflight <- struct {
+			status int
+			body   []byte
+		}{resp.StatusCode, body}
+	}()
+	waitFor(t, func() bool { return tr.Counter("serve.tasks.started") == 1 }, "request to start")
+
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	waitFor(t, func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.draining
+	}, "drain to begin")
+
+	// New work is refused while draining.
+	resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"dotnet"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain shed response missing Retry-After")
+	}
+
+	// Close must still be waiting on the pinned request.
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a request was still in flight")
+	default:
+	}
+
+	// The in-flight request completes successfully after shutdown began.
+	close(gate.release)
+	r := <-inflight
+	if r.status != 200 {
+		t.Fatalf("in-flight request finished with status %d: %s", r.status, r.body)
+	}
+	checkArtifactBody(t, r.body)
+	select {
+	case <-closed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not return after the pool drained")
+	}
+}
+
+// TestClientDisconnectCancels proves the cancellation path end to end: a
+// client that abandons its request aborts the server-side measurement
+// (no torn store writes), and the same measurement succeeds afresh for
+// the next caller.
+func TestClientDisconnectCancels(t *testing.T) {
+	cfg := experiments.Config{Instructions: 60000} // long enough to cancel mid-suite
+	cfg.Workers = 1                                // serialize the sim pool so the cancel cannot race the drain
+	lab := experiments.NewLab(cfg)
+	tr := obs.New()
+	lab.Obs = tr
+	gate := newGateCache()
+	close(gate.release) // pass-through; we only want its Put counter
+	lab.Store = gate
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 1, QueueDepth: 4})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/measure",
+		strings.NewReader(`{"suite":"dotnet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := srv.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Cancel only once simulation work has demonstrably begun, then the
+	// client-side request must fail with the context error.
+	waitFor(t, func() bool { return tr.Counter("sim.instructions") > 0 }, "simulation to start")
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned request returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("abandoned request did not return")
+	}
+
+	// The server-side task unwinds without writing a torn entry.
+	waitFor(t, func() bool { return tr.Counter("serve.tasks.done") == 1 }, "server task to unwind")
+	if _, puts := gate.counts(); puts != 0 {
+		t.Fatalf("cancelled measurement stored %d entries, want 0 (no torn writes)", puts)
+	}
+
+	// The cancellation must not poison the suite: the same request
+	// measures fresh and succeeds.
+	resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"dotnet"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-cancel request: status %d: %s", resp.StatusCode, body)
+	}
+	checkArtifactBody(t, body)
+	if _, puts := gate.counts(); puts != 1 {
+		t.Fatalf("successful re-measurement stored %d entries, want 1", puts)
+	}
+}
+
+// TestQueuedTaskSkipsWorkAfterDisconnect: a request that is abandoned
+// while still queued never reaches the measurement pipeline at all.
+func TestQueuedTaskSkipsWorkAfterDisconnect(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	gate := newGateCache()
+	lab.Store = gate
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 1, QueueDepth: 4})
+
+	// Pin the worker, then queue a second request and abandon it.
+	leader := make(chan struct{})
+	go func() {
+		defer close(leader)
+		resp, err := srv.Client().Post(srv.URL+"/v1/measure", "application/json",
+			strings.NewReader(`{"suite":"aspnet"}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitFor(t, func() bool { return tr.Counter("serve.tasks.started") == 1 }, "leader to start")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/measure",
+		strings.NewReader(`{"suite":"dotnet"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := srv.Client().Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitFor(t, func() bool { return gaugeValue(tr, "serve.queue.depth") == 1 }, "second request to queue")
+	cancel()
+	<-errc
+
+	close(gate.release)
+	<-leader
+	waitFor(t, func() bool { return tr.Counter("serve.tasks.done") == 2 }, "both tasks to finish")
+	if n := tr.Counter("serve.tasks.abandoned"); n != 1 {
+		t.Fatalf("serve.tasks.abandoned = %d, want 1", n)
+	}
+	// Only the leader's suite was ever measured: one store round-trip.
+	if gets, _ := gate.counts(); gets != 1 {
+		t.Fatalf("store saw %d Gets, want 1 (abandoned task must not measure)", gets)
+	}
+}
+
+// TestConfigDefaults pins the documented zero-value resolution.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Workers != 2 || cfg.QueueDepth != 64 || cfg.RetryAfter != time.Second {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg := (Config{RatePerSec: 2.5}).withDefaults(); cfg.Burst != 3 {
+		t.Fatalf("derived burst = %d, want 3", cfg.Burst)
+	}
+}
+
+// TestMeasureArtifactErrorRows: failed workloads render an error cell,
+// and the schema still validates.
+func TestMeasureArtifactErrorRows(t *testing.T) {
+	ms := []core.Measurement{
+		{Workload: workload.Profile{Name: "ok"}},
+		{Workload: workload.Profile{Name: "boom"}, Err: fmt.Errorf("OutOfMemory")},
+	}
+	a := measureArtifact("dotnet", machine.CoreI9(), ms)
+	var buf bytes.Buffer
+	if err := artifact.WriteJSON(&buf, []*artifact.Artifact{a}); err != nil {
+		t.Fatal(err)
+	}
+	checkArtifactBody(t, buf.Bytes())
+	if !strings.Contains(buf.String(), "OutOfMemory") {
+		t.Fatalf("error row not rendered:\n%s", buf.String())
+	}
+}

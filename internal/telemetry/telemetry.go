@@ -34,10 +34,20 @@ import (
 // Info describes the run being served, exported as the
 // charnet_run_info gauge and the /infoz document.
 type Info struct {
+	Role     string `json:"role"` // "cli" (one-shot charnet) or "daemon" (charnetd)
 	Command  string `json:"command"`
 	Fidelity string `json:"fidelity"` // "quick" or "full"
 	Format   string `json:"format"`
 	Workers  int    `json:"workers"` // 0 = GOMAXPROCS
+}
+
+// roleOrCLI defaults the role label: a caller that predates the daemon
+// split is the one-shot CLI.
+func roleOrCLI(role string) string {
+	if role == "" {
+		return "cli"
+	}
+	return role
 }
 
 // buildInfo is resolved once from the binary's embedded build metadata.
@@ -96,8 +106,9 @@ func WriteInfo(w io.Writer, info Info) error {
 		promLabel(bi.GoVersion), promLabel(bi.Revision))
 	fmt.Fprintf(&b, "# HELP charnet_run_info The command and configuration of the run in flight.\n")
 	fmt.Fprintf(&b, "# TYPE charnet_run_info gauge\n")
-	fmt.Fprintf(&b, "charnet_run_info{command=%q,fidelity=%q,format=%q,workers=\"%d\"} 1\n",
-		promLabel(info.Command), promLabel(info.Fidelity), promLabel(info.Format), info.Workers)
+	fmt.Fprintf(&b, "charnet_run_info{command=%q,fidelity=%q,format=%q,role=%q,workers=\"%d\"} 1\n",
+		promLabel(info.Command), promLabel(info.Fidelity), promLabel(info.Format),
+		promLabel(roleOrCLI(info.Role)), info.Workers)
 	_, err := io.WriteString(w, b.String())
 	return err
 }
@@ -193,6 +204,7 @@ func NewMux(tr *obs.Trace, info Info) *http.ServeMux {
 			GoVersion string `json:"go_version"`
 			Revision  string `json:"revision"`
 		}{Info: info, GoVersion: bi.GoVersion, Revision: bi.Revision}
+		doc.Role = roleOrCLI(doc.Role)
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(doc); err != nil {
 			return // client went away; nothing to do

@@ -231,7 +231,7 @@ func TestMuxEndpoints(t *testing.T) {
 	}
 	for _, want := range []string{
 		`charnet_build_info{go_version=`,
-		`charnet_run_info{command="table4",fidelity="quick",format="text",workers="4"} 1`,
+		`charnet_run_info{command="table4",fidelity="quick",format="text",role="cli",workers="4"} 1`,
 		"charnet_measure_latency_seconds_quantile{quantile=\"0.99\"}",
 		"charnet_mstore_hits_total 7",
 	} {

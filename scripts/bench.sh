@@ -10,7 +10,9 @@
 # Also records top-level pipeline phase wall-times: one `charnet
 # -profile-json` run of every figure lands phase:<name> entries in the
 # record, so a benchdiff regression localizes to a phase (looser
-# PHASE_TOL, since each phase is a single run).
+# PHASE_TOL, since each phase is a single run). A `charnetd -selftest`
+# run additionally lands serving latency (phase:serve.loadgen.p50/p99/
+# ns_per_req) in the same record, so daemon regressions are caught too.
 #
 # Environment knobs:
 #   BENCH      benchmark regexp        (default ".")
@@ -31,13 +33,17 @@ out="BENCH_${rev}.json"
 
 echo "== charnet phase profile (rev ${rev})"
 phases=$(mktemp)
-trap 'rm -f "$phases"' EXIT
+loadgen=$(mktemp)
+trap 'rm -f "$phases" "$loadgen"' EXIT
 go run ./cmd/charnet -profile-json "$phases" all > /dev/null 2> /dev/null
+
+echo "== charnetd serving selftest (rev ${rev})"
+go run ./cmd/charnetd -addr 127.0.0.1:0 -selftest -selftest-json "$loadgen" 2> /dev/null
 
 echo "== go test -bench (rev ${rev})"
 go test -run=NONE -bench="${BENCH:-.}" -benchtime="${BENCHTIME:-1s}" \
     -count="${COUNT:-3}" ./... |
-    go run ./cmd/benchdiff record -rev "$rev" -phases "$phases" -out "$out"
+    go run ./cmd/benchdiff record -rev "$rev" -phases "$phases,$loadgen" -out "$out"
 echo "recorded $out"
 
 # Baseline: newest BENCH_<rev>.json whose rev is an ancestor commit (not

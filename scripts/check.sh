@@ -11,7 +11,9 @@
 #                directives rejected (-unused-ignores) and the machine-
 #                readable findings document (-json) archived in the work
 #                dir next to the trace artifacts
-#   go test      all packages, race detector on
+#   go test      all packages, race detector on, shuffled execution
+#                order (-shuffle=on) so order-dependent tests cannot
+#                hide behind file ordering
 #   trace smoke  charnet -trace-out on a real driver, validated by
 #                cmd/tracecheck, with stdout checked byte-identical to an
 #                untraced run (the observability determinism contract)
@@ -25,6 +27,10 @@
 #                reproduce the legacy renderings exactly), then the same
 #                drivers as -format json validated by cmd/artifactcheck;
 #                one shared -cache DIR keeps the second pass fast
+#   daemon smoke charnetd on an ephemeral port: one /v1/measure request
+#                validated by cmd/artifactcheck, /metrics scraped by
+#                cmd/metricscheck for the serve.* families, then SIGTERM
+#                and a clean (exit 0) graceful drain
 #
 # Tier-1 (go build + go test) is the floor; this script is the gate every
 # PR should pass.
@@ -54,8 +60,8 @@ fi
 grep -q '"analyzers"' "$workdir/vet.json" || {
     echo "vet.json missing the analyzer roster" >&2; exit 1; }
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 echo "== bench smoke (compile + one iteration)"
 go test -run=NONE -bench=. -benchtime=1x ./... > /dev/null
@@ -118,5 +124,36 @@ if ! cmp -s "$renderdir/full.txt" docs/full_output.txt; then
 fi
 "$renderdir/charnet" -full -cache "$renderdir/mstore" -format json all > "$renderdir/full.json"
 "$renderdir/artifactcheck" < "$renderdir/full.json"
+
+echo "== daemon smoke (charnetd serve + measure + /metrics scrape + graceful SIGTERM)"
+daemondir="$workdir/daemon"
+mkdir -p "$daemondir"
+go build -o "$daemondir/charnetd" ./cmd/charnetd
+"$daemondir/charnetd" -addr 127.0.0.1:0 2> "$daemondir/stderr.txt" &
+daemonpid=$!
+daemonaddr=""
+for _ in $(seq 1 100); do
+    daemonaddr=$(sed -n 's|^charnetd: serving on http://||p' "$daemondir/stderr.txt")
+    [[ -n "$daemonaddr" ]] && break
+    sleep 0.05
+done
+if [[ -z "$daemonaddr" ]]; then
+    echo "charnetd never announced its address:" >&2
+    cat "$daemondir/stderr.txt" >&2
+    exit 1
+fi
+curl -fsS -X POST -H 'Content-Type: application/json' -d '{"suite":"aspnet"}' \
+    "http://$daemonaddr/v1/measure" > "$daemondir/measure.json"
+"$renderdir/artifactcheck" < "$daemondir/measure.json"
+"$teledir/metricscheck" -url "http://$daemonaddr/metrics" -retries 200 -interval 25ms \
+    -want charnet_serve_request_latency_seconds,charnet_serve_queue_wait_seconds,charnet_measure_latency_seconds
+kill -TERM "$daemonpid"
+if ! wait "$daemonpid"; then
+    echo "charnetd did not exit cleanly on SIGTERM:" >&2
+    cat "$daemondir/stderr.txt" >&2
+    exit 1
+fi
+grep -q "charnetd: drained" "$daemondir/stderr.txt" || {
+    echo "charnetd did not report a graceful drain" >&2; exit 1; }
 
 echo "ok: all checks passed"
