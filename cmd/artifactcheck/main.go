@@ -5,28 +5,75 @@
 // charnetd's /v1 endpoints serve the same schema, so the daemon smoke
 // pipes HTTP bodies through it too.
 //
-// The checks themselves live in artifact.CheckJSON (internal/artifact),
-// shared with the serving end-to-end tests; see its documentation for the
-// full list.
+// With -spec, it instead validates suite-spec documents (the
+// `charnet -suite-spec` format, docs/WORKLOADS.md): each argument is a
+// spec file path, or stdin is read when no arguments are given. Each
+// spec is compiled through the real loader, so validation and loading
+// can never disagree.
 //
-// Exits 0 and prints a one-line summary on success; prints every
-// violation and exits 1 otherwise.
+// The checks themselves live in artifact.CheckJSON and
+// artifact.CheckSpecJSON (internal/artifact), shared with the serving
+// end-to-end tests; see their documentation for the full list.
+//
+// Exits 0 and prints a one-line summary per input on success; prints
+// every violation and exits 1 otherwise.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/artifact"
 )
 
 func main() {
-	arts, payloads, problems := artifact.CheckJSON(os.Stdin)
-	if len(problems) > 0 {
-		for _, p := range problems {
-			fmt.Fprintf(os.Stderr, "artifactcheck: %s\n", p)
+	spec := flag.Bool("spec", false, "validate suite-spec documents (args are spec files; stdin if none)")
+	flag.Parse()
+	if !*spec {
+		if flag.NArg() != 0 {
+			fmt.Fprintf(os.Stderr, "artifactcheck: unexpected arguments %q (artifact mode reads stdin)\n", flag.Args())
+			os.Exit(2)
 		}
+		arts, payloads, problems := artifact.CheckJSON(os.Stdin)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "artifactcheck: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("artifactcheck: %d artifacts, %d payloads OK\n", arts, payloads)
+		return
+	}
+
+	failed := false
+	checkSpec := func(name string, r io.Reader) {
+		wire, workloads, problems := artifact.CheckSpecJSON(r)
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "artifactcheck: %s: %s\n", name, p)
+			}
+			failed = true
+			return
+		}
+		fmt.Printf("artifactcheck: %s: suite %q, %d workloads OK\n", name, wire, workloads)
+	}
+	if flag.NArg() == 0 {
+		checkSpec("<stdin>", os.Stdin)
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "artifactcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		checkSpec(path, f)
+		//charnet:ignore errdiscard read-only file; close failure cannot invalidate the check
+		f.Close()
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("artifactcheck: %d artifacts, %d payloads OK\n", arts, payloads)
 }

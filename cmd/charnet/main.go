@@ -5,9 +5,16 @@
 // Usage:
 //
 //	charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv]
-//	        [-trace-out FILE] [-events-out FILE] [-profile-json FILE]
-//	        [-telemetry-out FILE] [-progress] [-telemetry-addr ADDR]
-//	        [-pprof ADDR] <command>
+//	        [-suite-spec FILE]... [-trace-out FILE] [-events-out FILE]
+//	        [-profile-json FILE] [-telemetry-out FILE] [-progress]
+//	        [-telemetry-addr ADDR] [-pprof ADDR] <command>
+//
+// Suites are data: -suite-spec FILE (repeatable) loads a declarative
+// workload-spec JSON file (see docs/WORKLOADS.md) and registers its suite
+// beside the built-in paper suites. External suites flow through the
+// characterization drivers (table3, table4, fig1, fig2) and the utility
+// commands (suites, run, trace, export) with no further flags; the
+// built-in suites' output stays byte-identical.
 //
 // Output format:
 //
@@ -73,7 +80,14 @@ import (
 	"repro/internal/report"
 	"repro/internal/telemetry"
 	"repro/internal/textplot"
+	"repro/internal/workload"
 )
+
+// multiFlag collects every occurrence of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	full := flag.Bool("full", false, "full-fidelity runs (all workloads, more instructions)")
@@ -87,6 +101,8 @@ func main() {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /healthz, expvar and pprof on this address (\":0\" picks a port, announced on stderr)")
 	telemetryOut := flag.String("telemetry-out", "", "write the telemetry run-report artifact as JSON")
 	pprofAddr := flag.String("pprof", "", "deprecated alias for -telemetry-addr")
+	var suiteSpecs multiFlag
+	flag.Var(&suiteSpecs, "suite-spec", "register an external suite from a workload-spec JSON file (repeatable)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -105,6 +121,16 @@ func main() {
 	}
 	cfg.Workers = *workers
 	lab := experiments.NewLab(cfg)
+	if len(suiteSpecs) > 0 {
+		reg := workload.NewRegistry()
+		for _, path := range suiteSpecs {
+			if _, err := reg.RegisterSpecFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "charnet: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		lab.Registry = reg
+	}
 
 	serveAddr := *telemetryAddr
 	if serveAddr == "" {
@@ -243,14 +269,17 @@ func writeObsOutputs(ctx context.Context, lab *experiments.Lab, tr *obs.Trace, t
 // usage is generated from the driver registry: a driver registered in
 // internal/experiments appears here without any cmd/charnet change.
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv] [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-telemetry-out FILE] [-progress] [-telemetry-addr ADDR] <command>")
+	fmt.Fprintln(os.Stderr, "usage: charnet [-full] [-cache DIR] [-workers N] [-format text|json|csv] [-suite-spec FILE]... [-trace-out FILE] [-events-out FILE] [-profile-json FILE] [-telemetry-out FILE] [-progress] [-telemetry-addr ADDR] <command>")
+	fmt.Fprintln(os.Stderr, "\n-suite-spec FILE (repeatable) registers an external suite from a")
+	fmt.Fprintln(os.Stderr, "workload-spec JSON file (docs/WORKLOADS.md); it then flows through the")
+	fmt.Fprintln(os.Stderr, "characterization experiments and the utility commands below.")
 	fmt.Fprintln(os.Stderr, "\nutility commands (text-only):")
 	fmt.Fprintln(os.Stderr, "  metrics     print the Table I metric catalog")
 	fmt.Fprintln(os.Stderr, "  machines    print the Table II machine models")
-	fmt.Fprintln(os.Stderr, "  suites      print suite sizes and the Table IV subsets")
+	fmt.Fprintln(os.Stderr, "  suites      print the registered suites and the Table IV subsets")
 	fmt.Fprintln(os.Stderr, "  run NAME    run one workload on the i9 and print its metrics")
 	fmt.Fprintln(os.Stderr, "  trace NAME  run NAME with sampling and emit the sample CSV")
-	fmt.Fprintln(os.Stderr, "  export S F  measure suite S (dotnet|aspnet|spec) and emit F (csv|json)")
+	fmt.Fprintln(os.Stderr, "  export S F  measure suite S (a wire name from `suites`) and emit F (csv|json)")
 	fmt.Fprintln(os.Stderr, "\nexperiment commands (honor -format):")
 	for _, d := range experiments.Drivers() {
 		fmt.Fprintf(os.Stderr, "  %-11s %s\n", d.Name, d.Title)
@@ -269,7 +298,7 @@ func dispatch(ctx context.Context, lab *experiments.Lab, cmd string, args []stri
 	case "machines":
 		return inDriverSpan(lab, cmd, func() error { return printMachines(out) })
 	case "suites":
-		return inDriverSpan(lab, cmd, func() error { return printSuites(out) })
+		return inDriverSpan(lab, cmd, func() error { return printSuites(lab, out) })
 	case "run":
 		if len(args) < 1 {
 			return fmt.Errorf("run requires a workload name")
@@ -386,13 +415,19 @@ func printMachines(out io.Writer) error {
 	return err
 }
 
-func printSuites(out io.Writer) error {
+func printSuites(lab *experiments.Lab, out io.Writer) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "suites:\n")
-	fmt.Fprintf(&b, "  .NET:    %d categories, %d individual microbenchmarks\n",
-		len(charnet.DotNetCategories()), len(charnet.DotNetWorkloads()))
-	fmt.Fprintf(&b, "  ASP.NET: %d benchmarks\n", len(charnet.AspNetWorkloads()))
-	fmt.Fprintf(&b, "  SPEC:    %d benchmarks\n", len(charnet.SpecWorkloads()))
+	for _, def := range lab.Suites() {
+		tag := ""
+		if !def.Builtin {
+			tag = " (external)"
+		}
+		if def.Measurement.Sampled {
+			tag += " (sampled pool)"
+		}
+		fmt.Fprintf(&b, "  %-18s %-14s %4d workloads%s\n", def.Wire, def.Suite.String(), def.Len(), tag)
+	}
 	fmt.Fprintf(&b, "paper Table IV subsets:\n")
 	fmt.Fprintf(&b, "  .NET:    %v\n", experiments.TableIVDotNetSubset)
 	fmt.Fprintf(&b, "  ASP.NET: %v\n", experiments.TableIVAspNetSubset)
@@ -401,18 +436,22 @@ func printSuites(out io.Writer) error {
 	return err
 }
 
+// findWorkload resolves a workload name across every suite the Lab's
+// registry knows, in registration order (built-ins first, then any
+// -suite-spec externals).
+func findWorkload(lab *experiments.Lab, name string) (charnet.Profile, bool) {
+	for _, def := range lab.Suites() {
+		if p, ok := def.Lookup(name); ok {
+			return p, true
+		}
+	}
+	return charnet.Profile{}, false
+}
+
 // traceOne runs a workload with periodic sampling and emits the sample
 // time series as CSV (the §VII-A correlation study's raw data).
 func traceOne(lab *experiments.Lab, name string, out io.Writer) error {
-	var p charnet.Profile
-	var ok bool
-	for _, suite := range [][]charnet.Profile{
-		charnet.DotNetCategories(), charnet.AspNetWorkloads(), charnet.SpecWorkloads(),
-	} {
-		if p, ok = charnet.WorkloadByName(suite, name); ok {
-			break
-		}
-	}
+	p, ok := findWorkload(lab, name)
 	if !ok {
 		return fmt.Errorf("workload %q not found in any suite", name)
 	}
@@ -429,18 +468,11 @@ func traceOne(lab *experiments.Lab, name string, out io.Writer) error {
 
 // exportSuite measures a whole suite and streams records to out.
 func exportSuite(lab *experiments.Lab, suiteName, format string, out io.Writer) error {
-	var ps []charnet.Profile
-	switch suiteName {
-	case "dotnet":
-		ps = charnet.DotNetCategories()
-	case "aspnet":
-		ps = charnet.AspNetWorkloads()
-	case "spec":
-		ps = charnet.SpecWorkloads()
-	default:
-		return fmt.Errorf("unknown suite %q (want dotnet|aspnet|spec)", suiteName)
+	def, ok := lab.Suite(suiteName)
+	if !ok {
+		return fmt.Errorf("unknown suite %q (want one of %v)", suiteName, lab.SuiteNames())
 	}
-	ms := charnet.MeasureSuite(ps, charnet.CoreI9(), charnet.Options{Instructions: lab.Cfg.Instructions})
+	ms := charnet.MeasureSuite(def.Profiles(), charnet.CoreI9(), charnet.Options{Instructions: lab.Cfg.Instructions})
 	recs := report.FromMeasurements(ms)
 	switch format {
 	case "csv":
@@ -453,15 +485,7 @@ func exportSuite(lab *experiments.Lab, suiteName, format string, out io.Writer) 
 }
 
 func runOne(lab *experiments.Lab, name string, out io.Writer) error {
-	var p charnet.Profile
-	var ok bool
-	for _, suite := range [][]charnet.Profile{
-		charnet.DotNetCategories(), charnet.AspNetWorkloads(), charnet.SpecWorkloads(),
-	} {
-		if p, ok = charnet.WorkloadByName(suite, name); ok {
-			break
-		}
-	}
+	p, ok := findWorkload(lab, name)
 	if !ok {
 		return fmt.Errorf("workload %q not found in any suite", name)
 	}

@@ -5,15 +5,21 @@
 // Usage:
 //
 //	charnetd [-addr ADDR] [-full] [-cache DIR] [-workers N]
-//	         [-serve-workers N] [-queue N] [-rate R] [-burst N]
-//	         [-selftest] [-selftest-requests N] [-selftest-concurrency N]
-//	         [-selftest-json FILE]
+//	         [-suite-spec FILE]... [-serve-workers N] [-queue N]
+//	         [-rate R] [-burst N] [-selftest] [-selftest-requests N]
+//	         [-selftest-concurrency N] [-selftest-json FILE]
+//
+// -suite-spec FILE (repeatable) loads a declarative workload-spec JSON
+// file (docs/WORKLOADS.md) at daemon start; the suite then appears on
+// GET /v1/suites and measures through POST /v1/measure like the
+// built-in paper suites.
 //
 // Endpoints:
 //
 //	GET  /v1/drivers         list the experiment drivers
 //	GET  /v1/drivers/{name}  run one driver; the body is byte-identical
 //	                         to `charnet -format json name`
+//	GET  /v1/suites          list the registered suites
 //	POST /v1/measure         measure a suite: {"suite","machine","workloads"}
 //	/metrics /healthz /infoz /debug/vars /debug/pprof/*
 //
@@ -48,7 +54,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
+
+// multiFlag collects every occurrence of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint([]string(*m)) }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8100", "listen address (\":0\" picks a port, announced on stderr)")
@@ -63,6 +76,8 @@ func main() {
 	selftestRequests := flag.Int("selftest-requests", 32, "selftest total request count")
 	selftestConcurrency := flag.Int("selftest-concurrency", 4, "selftest closed-loop client count")
 	selftestJSON := flag.String("selftest-json", "", "write the selftest summary as a benchdiff phases file")
+	var suiteSpecs multiFlag
+	flag.Var(&suiteSpecs, "suite-spec", "register an external suite from a workload-spec JSON file (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "charnetd: unexpected arguments %q\n", flag.Args())
@@ -75,6 +90,18 @@ func main() {
 	}
 	cfg.Workers = *workers
 	lab := experiments.NewLab(cfg)
+	if len(suiteSpecs) > 0 {
+		reg := workload.NewRegistry()
+		for _, path := range suiteSpecs {
+			def, err := reg.RegisterSpecFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "charnetd: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "charnetd: registered suite %q (%d workloads) from %s\n", def.Wire, def.Len(), path)
+		}
+		lab.Registry = reg
+	}
 	// A daemon is observable by construction: the trace always exists and
 	// backs /metrics, the serve.* instrumentation and the serving clock.
 	tr := obs.New()

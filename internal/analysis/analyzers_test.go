@@ -15,6 +15,7 @@ func TestDeterTaintFixture(t *testing.T) {
 		"repro/dtfix/clock",
 		"repro/dtfix/measure",
 		"repro/dtfix/experiments",
+		"repro/dtfix/workload",
 	}, DeterTaint))
 }
 

@@ -12,7 +12,8 @@ import (
 // restricted-package list: instead of trusting that a hand-maintained set
 // of packages stays clean, it proves by call-graph reachability that no
 // registered experiment driver — every Run function in the experiments
-// registry — nor core.MeasureSuiteCtx can reach a nondeterminism source:
+// registry — nor core.MeasureSuiteCtx nor the suite-spec loader
+// workload.ParseSpec can reach a nondeterminism source:
 //
 //   - time.Now / time.Since (wall clock),
 //   - anything in math/rand or math/rand/v2 (ambient random stream),
@@ -26,7 +27,7 @@ import (
 // math/rand at all.
 var DeterTaint = &Analyzer{
 	Name:      "detertaint",
-	Doc:       "prove by call-graph reachability that no driver Run path reaches time.Now, math/rand or os.Getenv",
+	Doc:       "prove by call-graph reachability that no driver Run or spec-loading path reaches time.Now, math/rand or os.Getenv",
 	RunModule: runDeterTaint,
 }
 
@@ -143,9 +144,12 @@ func trimChain(chain []string) []string {
 // detertaintRoots finds the deterministic roots in the loaded units:
 // every function registered as a Driver's Run in the experiments
 // registry's package-level `drivers` literal (unwrapping the wrap(...)
-// adapter), plus MeasureSuiteCtx in the core package. Matching is
-// structural — any loaded package whose path ends in /experiments or
-// /core participates — so fixtures can stand up a miniature registry.
+// adapter), plus MeasureSuiteCtx in the core package, plus ParseSpec in
+// the workload package — the suite-spec loader promises that everything
+// a spec generates is a pure function of the spec bytes, so its call
+// tree must be as clean as a driver's. Matching is structural — any
+// loaded package whose path ends in /experiments, /core or /workload
+// participates — so fixtures can stand up a miniature registry.
 func detertaintRoots(pass *ModulePass, g *CallGraph) []string {
 	var roots []string
 	add := func(fn *types.Func) {
@@ -181,6 +185,14 @@ func detertaintRoots(pass *ModulePass, g *CallGraph) []string {
 			if pathEndsWith(u.Path, "core") {
 				for _, decl := range f.Decls {
 					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "MeasureSuiteCtx" {
+						fn, _ := u.Info.Defs[fd.Name].(*types.Func)
+						add(fn)
+					}
+				}
+			}
+			if pathEndsWith(u.Path, "workload") {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "ParseSpec" {
 						fn, _ := u.Info.Defs[fd.Name].(*types.Func)
 						add(fn)
 					}

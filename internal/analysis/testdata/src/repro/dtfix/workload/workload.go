@@ -1,0 +1,19 @@
+// Package workload mirrors the real suite-spec loader: detertaint roots
+// any top-level ParseSpec in a package whose path ends in /workload, so
+// this fixture proves the spec-loading path is policed like a driver —
+// a spec compiled from the same bytes must never depend on ambient state.
+package workload
+
+import "os"
+
+// ParseSpec is tainted: it consults the ambient environment while
+// compiling a spec, so two processes could generate different suites
+// from identical bytes.
+func ParseSpec(data []byte) (string, error) {
+	return os.Getenv("SPEC_DEBUG") + string(data), nil
+}
+
+// CompileClean is the control: a pure helper off the root stays silent.
+func CompileClean(data []byte) int {
+	return len(data)
+}

@@ -1,0 +1,28 @@
+package artifact
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/workload"
+)
+
+// CheckSpecJSON validates one suite-spec document (docs/WORKLOADS.md)
+// by compiling it through workload.ParseSpec — the exact loader
+// `charnet -suite-spec` and charnetd use — so a spec that validates
+// here is a spec that loads. It lives beside CheckJSON so
+// cmd/artifactcheck covers both artifact schemas the pipeline ships.
+//
+// It returns the suite's wire name and workload count plus every
+// violation found; an empty problems slice means the spec is valid.
+func CheckSpecJSON(r io.Reader) (wire string, workloads int, problems []string) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return "", 0, []string{fmt.Sprintf("reading spec: %v", err)}
+	}
+	def, err := workload.ParseSpec(data)
+	if err != nil {
+		return "", 0, []string{err.Error()}
+	}
+	return def.Wire, def.Len(), nil
+}

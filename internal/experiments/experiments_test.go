@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // quickLab is shared across tests in this package: measurements are cached
@@ -44,8 +45,16 @@ func TestTableIV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.DotNet) != 8 || len(res.AspNet) != 8 || len(res.Spec) != 8 {
-		t.Fatalf("subset sizes %d/%d/%d, want 8 each", len(res.DotNet), len(res.AspNet), len(res.Spec))
+	if len(res.Columns) != 3 {
+		t.Fatalf("got %d suite columns, want the paper's 3", len(res.Columns))
+	}
+	for i, want := range []string{".NET", "ASP.NET", "SPEC CPU17"} {
+		if res.Columns[i].Title != want {
+			t.Fatalf("column %d titled %q, want %q", i, res.Columns[i].Title, want)
+		}
+		if len(res.Columns[i].Names) != 8 {
+			t.Fatalf("column %s holds %d names, want 8", want, len(res.Columns[i].Names))
+		}
 	}
 	if s := res.String(); !strings.Contains(s, "Table IV") {
 		t.Fatal("rendering broken")
@@ -437,5 +446,106 @@ func TestCrossISA(t *testing.T) {
 	}
 	if s := res.String(); !strings.Contains(s, "Cross-ISA") {
 		t.Fatal("rendering broken")
+	}
+}
+
+// extSpec is a small external suite used to prove the "zero driver
+// code" promise: registered on a Lab, it must flow through the
+// characterization drivers below without any driver change.
+const extSpec = `{
+  "format": "charnet-suite-spec",
+  "version": 1,
+  "wire": "memx",
+  "suite": "MemX",
+  "description": "external test suite",
+  "defaults": {
+    "BranchFrac": 0.15, "LoadFrac": 0.33, "StoreFrac": 0.12, "KernelFrac": 0.03,
+    "CodeFootprintBytes": 262144, "MethodCount": 300, "MethodZipf": 1.0,
+    "CallEveryInstr": 120, "BranchPredictability": 0.95, "TakenFrac": 0.55,
+    "MicrocodeFrac": 0.01, "DivFrac": 0.005, "WorkingSetBytes": 134217728,
+    "DataZipf": 0.6, "SequentialFrac": 0.5, "LocalFrac": 0.75, "ILP": 0.55,
+    "Managed": false, "DefaultCores": 1, "InstructionScale": 2
+  },
+  "generate": [{
+    "category": "Mem",
+    "seed": ["memx"],
+    "spread": 0.3,
+    "names": ["m00", "m01", "m02", "m03", "m04", "m05", "m06", "m07", "m08", "m09"]
+  }]
+}`
+
+// extLab builds a low-fidelity Lab whose registry carries the external
+// suite above beside the built-ins.
+func extLab(t *testing.T) *Lab {
+	t.Helper()
+	reg := workload.NewRegistry()
+	def, err := workload.ParseSpec([]byte(extSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Quick()
+	cfg.Instructions = 3000
+	cfg.DotNetIndividualLimit = 60
+	lab := NewLab(cfg)
+	lab.Registry = reg
+	return lab
+}
+
+// TestExternalSuiteDrivers is the tentpole acceptance test: a suite that
+// exists only as a spec document flows through every characterization
+// driver — PCA, subset table, dendrogram, subset validation — with zero
+// driver-code changes, while the legacy suite sections keep their exact
+// shape.
+func TestExternalSuiteDrivers(t *testing.T) {
+	lab := extLab(t)
+	ctx := context.Background()
+
+	t3, err := TableIII(ctx, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.External) != 1 || t3.External[0].Wire != "memx" {
+		t.Fatalf("Table III externals = %+v, want one memx entry", t3.External)
+	}
+	if v := t3.External[0].CumVariance4; v <= 0 || v > 1 {
+		t.Fatalf("external top-4 variance %v out of range", v)
+	}
+	if s := t3.String(); !strings.Contains(s, "external suite MemX") {
+		t.Fatalf("Table III rendering misses the external section:\n%s", s)
+	}
+
+	t4, err := TableIV(ctx, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Columns) != 4 {
+		t.Fatalf("Table IV has %d columns, want 4 (three paper suites + memx)", len(t4.Columns))
+	}
+	last := t4.Columns[3]
+	if last.Wire != "memx" || last.Title != "MemX" || len(last.Names) != 8 {
+		t.Fatalf("external column = %+v, want memx/MemX with 8 representatives", last)
+	}
+
+	f1, err := Figure1(ctx, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1.External) != 1 || f1.External[0].Dendrogram.N != 10 {
+		t.Fatalf("Figure 1 externals = %+v, want one 10-leaf memx dendrogram", f1.External)
+	}
+
+	f2, err := Figure2(ctx, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.External) != 1 {
+		t.Fatalf("Figure 2 externals = %+v, want one validation", f2.External)
+	}
+	v := f2.External[0]
+	if !strings.Contains(v.Name, "memx") || v.AccuracyFraction <= 0 || v.AccuracyFraction > 1 {
+		t.Fatalf("external validation = %+v", v)
 	}
 }

@@ -68,6 +68,12 @@ func Full() Config {
 type Lab struct {
 	Cfg Config
 
+	// Registry resolves suite wire names to their definitions. Nil means
+	// the built-in registry (the paper's suites); `charnet -suite-spec`
+	// and the daemon install a registry extended with external suites.
+	// Set it before first use — it must not change once measuring.
+	Registry *workload.Registry
+
 	// Store, when set, persists measurements across processes (the
 	// `charnet -cache DIR` flag wires in an mstore.Store). The in-memory
 	// map below still fronts it within a process.
@@ -175,48 +181,77 @@ func (l *Lab) opts() sim.Options {
 	return sim.Options{Instructions: l.Cfg.Instructions}
 }
 
+// registry resolves the Lab's suite registry, defaulting to the
+// built-in suites.
+func (l *Lab) registry() *workload.Registry {
+	if l.Registry != nil {
+		return l.Registry
+	}
+	return workload.Builtin()
+}
+
+// MeasureSuite measures one registered suite on m, honoring the suite's
+// measurement policy: a nonzero instruction divisor scales the
+// per-workload budget (short microbenchmarks get a slice of it), and
+// sampled suites honor the configured individual-workload limit via a
+// deterministic stride sample. Results share the Lab's per-key
+// singleflight and caches.
+func (l *Lab) MeasureSuite(ctx context.Context, def *workload.SuiteDef, m *machine.Config) ([]core.Measurement, error) {
+	ps := def.Profiles()
+	opts := l.opts()
+	if d := def.Measurement.InstructionsDivisor; d > 0 {
+		opts.Instructions = l.Cfg.Instructions/d + def.Measurement.InstructionsExtra
+	}
+	key := fmt.Sprintf("suite/%s/%s", def.Wire, m.Name)
+	if def.Measurement.Sampled {
+		if n := l.Cfg.DotNetIndividualLimit; n > 0 && n < len(ps) {
+			// Deterministic stride sample across categories rather than a
+			// prefix, so the limited set still spans the suite. The loop is
+			// bounded by n itself, so the sample is exactly n workloads for
+			// any suite size; max index (n-1)*(len/n) < len.
+			stride := len(ps) / n
+			sel := make([]workload.Profile, n)
+			for i := range sel {
+				sel[i] = ps[i*stride]
+			}
+			ps = sel
+		}
+		// Key on the actual selection, not just its size: two configs with
+		// equal limits but different sampled sets must not collide.
+		key = fmt.Sprintf("suite/%s/%s/%s", def.Wire, m.Name, selectionID(ps))
+	}
+	return l.measure(ctx, key, ps, m, opts)
+}
+
+// measureWire measures a suite by wire name through the registry.
+func (l *Lab) measureWire(ctx context.Context, wire string, m *machine.Config) ([]core.Measurement, error) {
+	def, ok := l.registry().Lookup(wire)
+	if !ok {
+		return nil, fmt.Errorf("unknown suite %q (want one of %v)", wire, l.SuiteNames())
+	}
+	return l.MeasureSuite(ctx, def, m)
+}
+
 // DotNetCategories measures the 44 .NET category archetypes on m.
 func (l *Lab) DotNetCategories(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
-	key := fmt.Sprintf("dotnet-cats/%s", m.Name)
-	return l.measure(ctx, key, workload.DotNetCategories(), m, l.opts())
+	return l.measureWire(ctx, "dotnet", m)
 }
 
 // DotNetIndividual measures the individual .NET microbenchmarks on m,
 // honoring the configured limit.
 func (l *Lab) DotNetIndividual(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
-	ws := workload.DotNetWorkloads()
-	if n := l.Cfg.DotNetIndividualLimit; n > 0 && n < len(ws) {
-		// Deterministic stride sample across categories rather than a
-		// prefix, so the limited set still spans the suite. The loop is
-		// bounded by n itself, so the sample is exactly n workloads for
-		// any suite size; max index (n-1)*(len/n) < len.
-		stride := len(ws) / n
-		sel := make([]workload.Profile, n)
-		for i := range sel {
-			sel[i] = ws[i*stride]
-		}
-		ws = sel
-	}
-	// Key on the actual selection, not just its size: two configs with
-	// equal limits but different sampled sets must not collide.
-	key := fmt.Sprintf("dotnet-ind/%s/%s", m.Name, selectionID(ws))
-	opts := l.opts()
-	// Individual microbenchmarks are short; a third of the budget each.
-	opts.Instructions = l.Cfg.Instructions/3 + 1000
-	return l.measure(ctx, key, ws, m, opts)
+	return l.measureWire(ctx, "dotnet-individual", m)
 }
 
 // AspNet measures the 53 ASP.NET benchmarks on m at their natural core
 // counts.
 func (l *Lab) AspNet(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
-	key := fmt.Sprintf("aspnet/%s", m.Name)
-	return l.measure(ctx, key, workload.AspNetWorkloads(), m, l.opts())
+	return l.measureWire(ctx, "aspnet", m)
 }
 
 // Spec measures the SPEC CPU17 catalog on m.
 func (l *Lab) Spec(ctx context.Context, m *machine.Config) ([]core.Measurement, error) {
-	key := fmt.Sprintf("spec/%s", m.Name)
-	return l.measure(ctx, key, workload.SpecWorkloads(), m, l.opts())
+	return l.measureWire(ctx, "spec", m)
 }
 
 // TableIVDotNetSubset is the paper's chosen 8-category .NET subset.

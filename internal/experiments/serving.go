@@ -6,30 +6,56 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/workload"
 )
 
-// SuiteNames lists the measurable suites by wire name, in a fixed order.
-// These are the values a serving request's "suite" field accepts; each
-// maps to one of the Lab's cached suite-measurement methods.
+// SuiteNames lists the built-in suites by wire name, in registry order.
+// A Lab extended with external specs accepts more: use Lab.SuiteNames.
 func SuiteNames() []string {
-	return []string{"dotnet", "dotnet-individual", "aspnet", "spec"}
+	return workload.Builtin().Names()
 }
 
-// MeasureSuiteByName routes a wire-named suite to the Lab method that
-// measures it, sharing the Lab's per-key singleflight and caches, so
-// concurrent identical serving requests coalesce into one measurement.
-func (l *Lab) MeasureSuiteByName(ctx context.Context, suite string, m *machine.Config) ([]core.Measurement, error) {
-	switch suite {
-	case "dotnet":
-		return l.DotNetCategories(ctx, m)
-	case "dotnet-individual":
-		return l.DotNetIndividual(ctx, m)
-	case "aspnet":
-		return l.AspNet(ctx, m)
-	case "spec":
-		return l.Spec(ctx, m)
+// SuiteNames lists every suite this Lab can measure by wire name, in
+// registration order (built-ins first). These are the values a serving
+// request's "suite" field accepts.
+func (l *Lab) SuiteNames() []string {
+	return l.registry().Names()
+}
+
+// Suites returns the Lab's registered suite definitions in registration
+// order.
+func (l *Lab) Suites() []*workload.SuiteDef {
+	return l.registry().Suites()
+}
+
+// Suite resolves one of the Lab's suites by wire name.
+func (l *Lab) Suite(wire string) (*workload.SuiteDef, bool) {
+	return l.registry().Lookup(wire)
+}
+
+// externalSuites lists the registered non-built-in suites that take part
+// in the characterization drivers (table3/table4/fig1/fig2). Sampled
+// suites are excluded — they are measurement pools, not
+// characterization sets, exactly like the built-in individual-.NET pool.
+func (l *Lab) externalSuites() []*workload.SuiteDef {
+	var out []*workload.SuiteDef
+	for _, def := range l.registry().Suites() {
+		if !def.Builtin && !def.Measurement.Sampled {
+			out = append(out, def)
+		}
 	}
-	return nil, fmt.Errorf("unknown suite %q (want one of %v)", suite, SuiteNames())
+	return out
+}
+
+// MeasureSuiteByName measures a wire-named suite through the registry,
+// sharing the Lab's per-key singleflight and caches, so concurrent
+// identical serving requests coalesce into one measurement.
+func (l *Lab) MeasureSuiteByName(ctx context.Context, suite string, m *machine.Config) ([]core.Measurement, error) {
+	def, ok := l.registry().Lookup(suite)
+	if !ok {
+		return nil, fmt.Errorf("unknown suite %q (want one of %v)", suite, l.SuiteNames())
+	}
+	return l.MeasureSuite(ctx, def, m)
 }
 
 // FilterMeasurements returns the measurements for the named workloads, in

@@ -13,21 +13,49 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pca"
 	"repro/internal/subset"
+	"repro/internal/workload"
 )
 
 // TableIIIResult reproduces Table III: the top loading factors of the
 // first four principal components over the .NET categories' 24-metric
-// vectors, with per-component explained variance.
+// vectors, with per-component explained variance. Registered external
+// suites get the same analysis, appended in External.
 type TableIIIResult struct {
 	Components   [][]pca.Loading // top loadings per PRCO
 	Variance     []float64       // explained variance per PRCO
 	CumVariance4 float64         // paper: 0.79
 	KaiserCount  int             // data-driven component count cross-check
+
+	External []TableIIISuite // one per registered external suite
 }
 
-// TableIII runs the §IV-A metric-redundancy analysis on the .NET suite.
+// TableIIISuite is the Table III analysis of one external suite.
+type TableIIISuite struct {
+	Wire         string
+	Title        string
+	Components   [][]pca.Loading
+	Variance     []float64
+	CumVariance4 float64
+	KaiserCount  int
+}
+
+// pcaSummary extracts the Table III numbers from a characterization.
+func pcaSummary(ch *core.Characterization) ([][]pca.Loading, []float64, float64, int) {
+	var comps [][]pca.Loading
+	var vari []float64
+	names := metrics.Names()
+	for k := 0; k < 4; k++ {
+		comps = append(comps, ch.PCA.TopLoadings(k, 3, names))
+		vari = append(vari, ch.PCA.ExplainedVariance[k])
+	}
+	return comps, vari, ch.PCA.CumulativeVariance(4), ch.PCA.KaiserCount()
+}
+
+// TableIII runs the §IV-A metric-redundancy analysis on the .NET suite,
+// then on every registered external suite.
 func TableIII(ctx context.Context, l *Lab) (*TableIIIResult, error) {
-	ms, err := l.DotNetCategories(ctx, machine.CoreI9())
+	m := machine.CoreI9()
+	ms, err := l.DotNetCategories(ctx, m)
 	if err != nil {
 		return nil, err
 	}
@@ -35,44 +63,51 @@ func TableIII(ctx context.Context, l *Lab) (*TableIIIResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &TableIIIResult{
-		CumVariance4: ch.PCA.CumulativeVariance(4),
-		KaiserCount:  ch.PCA.KaiserCount(),
-	}
-	names := metrics.Names()
-	for k := 0; k < 4; k++ {
-		res.Components = append(res.Components, ch.PCA.TopLoadings(k, 3, names))
-		res.Variance = append(res.Variance, ch.PCA.ExplainedVariance[k])
+	res := &TableIIIResult{}
+	res.Components, res.Variance, res.CumVariance4, res.KaiserCount = pcaSummary(ch)
+	for _, def := range l.externalSuites() {
+		ems, err := l.MeasureSuite(ctx, def, m)
+		if err != nil {
+			return nil, err
+		}
+		ech, err := core.Characterize(ems, 4, cluster.Average)
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", def.Wire, err)
+		}
+		es := TableIIISuite{Wire: def.Wire, Title: def.Suite.String()}
+		es.Components, es.Variance, es.CumVariance4, es.KaiserCount = pcaSummary(ech)
+		res.External = append(res.External, es)
 	}
 	return res, nil
 }
 
-// Artifact renders Table III: the prose loadings listing plus hidden
-// tables carrying the unrounded loadings and variance summary.
-func (r *TableIIIResult) Artifact() *artifact.Artifact {
-	lines := []string{"Table III: loading factors of the top 3 metrics on the four principal components"}
+// tableIIIPayloads builds one suite's Table III payloads: the prose
+// loadings note plus hidden tables carrying the unrounded loadings and
+// variance summary. suffix distinguishes external suites ("" for the
+// paper's .NET analysis, ":"+wire otherwise).
+func tableIIIPayloads(header, suffix string, comps [][]pca.Loading, vari []float64, cum float64, kaiser int) []artifact.Payload {
+	lines := []string{header}
 	var loadRows [][]artifact.Value
-	for k, loads := range r.Components {
-		lines = append(lines, fmt.Sprintf("  PRCO%d (%.3f):", k+1, r.Variance[k]))
+	for k, loads := range comps {
+		lines = append(lines, fmt.Sprintf("  PRCO%d (%.3f):", k+1, vari[k]))
 		for _, ld := range loads {
 			lines = append(lines, fmt.Sprintf("    %-32s %+.3f", ld.Metric, ld.Weight))
 			loadRows = append(loadRows, []artifact.Value{
 				artifact.Str(fmt.Sprintf("PRCO%d", k+1)),
 				artifact.Str(ld.Metric),
 				artifact.Number(ld.Weight),
-				artifact.Number(r.Variance[k]),
+				artifact.Number(vari[k]),
 			})
 		}
 	}
 	lines = append(lines,
-		fmt.Sprintf("  top-4 cumulative variance: %.3f (paper: 0.79)", r.CumVariance4),
-		fmt.Sprintf("  Kaiser criterion (eigenvalue > 1): %d components", r.KaiserCount),
+		fmt.Sprintf("  top-4 cumulative variance: %.3f (paper: 0.79)", cum),
+		fmt.Sprintf("  Kaiser criterion (eigenvalue > 1): %d components", kaiser),
 	)
-	a := &artifact.Artifact{Name: "table3", Title: "Table III: principal-component loading factors", Paper: "Table III"}
-	a.Add(
-		&artifact.Note{Name: "loadings", Lines: lines},
+	return []artifact.Payload{
+		&artifact.Note{Name: "loadings" + suffix, Lines: lines},
 		&artifact.Table{
-			Name:   "loadings-data",
+			Name:   "loadings-data" + suffix,
 			Hidden: true,
 			Columns: []artifact.Column{
 				{Name: "component"}, {Name: "metric"}, {Name: "loading"}, {Name: "explained_variance"},
@@ -80,30 +115,62 @@ func (r *TableIIIResult) Artifact() *artifact.Artifact {
 			Rows: loadRows,
 		},
 		&artifact.Table{
-			Name:    "variance-data",
+			Name:    "variance-data" + suffix,
 			Hidden:  true,
 			Columns: []artifact.Column{{Name: "statistic"}, {Name: "value"}},
 			Rows: [][]artifact.Value{
-				{artifact.Str("top4_cumulative_variance"), artifact.Number(r.CumVariance4)},
-				{artifact.Str("kaiser_components"), artifact.Number(float64(r.KaiserCount))},
+				{artifact.Str("top4_cumulative_variance"), artifact.Number(cum)},
+				{artifact.Str("kaiser_components"), artifact.Number(float64(kaiser))},
 			},
 		},
-	)
+	}
+}
+
+// Artifact renders Table III: the .NET analysis exactly as the paper
+// lays it out, then one section per registered external suite.
+func (r *TableIIIResult) Artifact() *artifact.Artifact {
+	a := &artifact.Artifact{Name: "table3", Title: "Table III: principal-component loading factors", Paper: "Table III"}
+	a.Add(tableIIIPayloads(
+		"Table III: loading factors of the top 3 metrics on the four principal components",
+		"", r.Components, r.Variance, r.CumVariance4, r.KaiserCount)...)
+	for _, es := range r.External {
+		a.Add(tableIIIPayloads(
+			fmt.Sprintf("Table III (external suite %s): loading factors of the top 3 metrics on the four principal components", es.Title),
+			":"+es.Wire, es.Components, es.Variance, es.CumVariance4, es.KaiserCount)...)
+	}
 	return a
 }
 
 // String renders Table III.
 func (r *TableIIIResult) String() string { return artifact.Text(r.Artifact()) }
 
-// TableIVResult reproduces Table IV: the representative 8-element subsets
-// of all three suites, with the paper-style one-line descriptions where
-// the catalog carries them.
+// TableIVResult reproduces Table IV: the representative 8-element
+// subset of every characterized suite — the paper's three, plus any
+// registered external suite — with the paper-style one-line
+// descriptions where the catalog carries them.
 type TableIVResult struct {
-	DotNet []string
-	AspNet []string
-	Spec   []string
-
+	Columns      []TableIVColumn
 	Descriptions map[string]string
+}
+
+// TableIVColumn is one suite's representative subset.
+type TableIVColumn struct {
+	Wire  string
+	Title string
+	Names []string
+}
+
+// characterizationSuites lists the suites the subsetting drivers
+// analyze: every registered suite except the sampled measurement pools
+// (the individual-.NET pool serves Subset B, not the suite tables).
+func (l *Lab) characterizationSuites() []*workload.SuiteDef {
+	var out []*workload.SuiteDef
+	for _, def := range l.Suites() {
+		if !def.Measurement.Sampled {
+			out = append(out, def)
+		}
+	}
+	return out
 }
 
 // TableIV derives representative subsets by clustering each suite in its
@@ -111,32 +178,21 @@ type TableIVResult struct {
 func TableIV(ctx context.Context, l *Lab) (*TableIVResult, error) {
 	m := machine.CoreI9()
 	out := &TableIVResult{Descriptions: map[string]string{}}
-	cats, err := l.DotNetCategories(ctx, m)
-	if err != nil {
-		return nil, err
-	}
-	asp, err := l.AspNet(ctx, m)
-	if err != nil {
-		return nil, err
-	}
-	spec, err := l.Spec(ctx, m)
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range []struct {
-		ms   []core.Measurement
-		dest *[]string
-	}{
-		{cats, &out.DotNet},
-		{asp, &out.AspNet},
-		{spec, &out.Spec},
-	} {
-		ch, err := core.Characterize(s.ms, 4, cluster.Average)
+	for _, def := range l.characterizationSuites() {
+		ms, err := l.MeasureSuite(ctx, def, m)
 		if err != nil {
 			return nil, err
 		}
-		*s.dest = ch.SubsetNames(ch.Subset(8))
-		for _, meas := range s.ms {
+		ch, err := core.Characterize(ms, 4, cluster.Average)
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", def.Wire, err)
+		}
+		out.Columns = append(out.Columns, TableIVColumn{
+			Wire:  def.Wire,
+			Title: def.Suite.String(),
+			Names: ch.SubsetNames(ch.Subset(8)),
+		})
+		for _, meas := range ms {
 			if meas.Err == nil && meas.Workload.Description != "" {
 				out.Descriptions[meas.Workload.Name] = meas.Workload.Description
 			}
@@ -145,7 +201,7 @@ func TableIV(ctx context.Context, l *Lab) (*TableIVResult, error) {
 	return out, nil
 }
 
-// Artifact renders Table IV as one table payload.
+// Artifact renders Table IV as one table payload, one column per suite.
 func (r *TableIVResult) Artifact() *artifact.Artifact {
 	get := func(s []string, i int) string {
 		if i < len(s) {
@@ -159,19 +215,28 @@ func (r *TableIVResult) Artifact() *artifact.Artifact {
 		}
 		return name
 	}
-	rows := make([][]artifact.Value, 8)
-	for i := range rows {
-		rows[i] = []artifact.Value{
-			artifact.Str(describe(get(r.DotNet, i))),
-			artifact.Str(describe(get(r.AspNet, i))),
-			artifact.Str(get(r.Spec, i)),
+	depth := 0
+	for _, c := range r.Columns {
+		if len(c.Names) > depth {
+			depth = len(c.Names)
+		}
+	}
+	cols := make([]artifact.Column, len(r.Columns))
+	rows := make([][]artifact.Value, depth)
+	for j, c := range r.Columns {
+		cols[j] = artifact.Column{Name: c.Title}
+		for i := 0; i < depth; i++ {
+			if j == 0 {
+				rows[i] = make([]artifact.Value, len(r.Columns))
+			}
+			rows[i][j] = artifact.Str(describe(get(c.Names, i)))
 		}
 	}
 	a := &artifact.Artifact{Name: "table4", Title: "Table IV: representative subsets (derived)", Paper: "Table IV"}
 	a.Add(&artifact.Table{
 		Name:    "subsets",
 		Title:   "Table IV: representative subsets (derived)",
-		Columns: []artifact.Column{{Name: ".NET"}, {Name: "ASP.NET"}, {Name: "SPEC CPU17"}},
+		Columns: cols,
 		Rows:    rows,
 	})
 	return a
@@ -181,22 +246,29 @@ func (r *TableIVResult) Artifact() *artifact.Artifact {
 func (r *TableIVResult) String() string { return artifact.Text(r.Artifact()) }
 
 // Figure1Result reproduces Fig 1: the dendrogram over the 44 .NET
-// categories.
+// categories, plus one dendrogram per registered external suite.
 type Figure1Result struct {
 	Dendrogram *cluster.Dendrogram
 	Labels     []string
 	Subset     []string // the 8 representatives, underlined in the paper
+
+	External []Figure1Suite
 }
 
-// Figure1 clusters the .NET categories and marks the 8-cut representatives.
-func Figure1(ctx context.Context, l *Lab) (*Figure1Result, error) {
-	ms, err := l.DotNetCategories(ctx, machine.CoreI9())
-	if err != nil {
-		return nil, err
-	}
+// Figure1Suite is the Fig 1 clustering of one external suite.
+type Figure1Suite struct {
+	Wire       string
+	Title      string
+	Dendrogram *cluster.Dendrogram
+	Labels     []string
+	Subset     []string
+}
+
+// figure1Suite clusters one suite's measurements for the dendrogram.
+func figure1Suite(ms []core.Measurement) (*cluster.Dendrogram, []string, []string, error) {
 	ch, err := core.Characterize(ms, 4, cluster.Average)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	labels := make([]string, 0, len(ms))
 	for _, m := range ms {
@@ -204,11 +276,33 @@ func Figure1(ctx context.Context, l *Lab) (*Figure1Result, error) {
 			labels = append(labels, m.Workload.Name)
 		}
 	}
-	return &Figure1Result{
-		Dendrogram: ch.Dendrogram,
-		Labels:     labels,
-		Subset:     ch.SubsetNames(ch.Subset(8)),
-	}, nil
+	return ch.Dendrogram, labels, ch.SubsetNames(ch.Subset(8)), nil
+}
+
+// Figure1 clusters the .NET categories and marks the 8-cut
+// representatives, then does the same for every external suite.
+func Figure1(ctx context.Context, l *Lab) (*Figure1Result, error) {
+	m := machine.CoreI9()
+	ms, err := l.DotNetCategories(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure1Result{}
+	if res.Dendrogram, res.Labels, res.Subset, err = figure1Suite(ms); err != nil {
+		return nil, err
+	}
+	for _, def := range l.externalSuites() {
+		ems, err := l.MeasureSuite(ctx, def, m)
+		if err != nil {
+			return nil, err
+		}
+		es := Figure1Suite{Wire: def.Wire, Title: def.Suite.String()}
+		if es.Dendrogram, es.Labels, es.Subset, err = figure1Suite(ems); err != nil {
+			return nil, fmt.Errorf("suite %s: %w", def.Wire, err)
+		}
+		res.External = append(res.External, es)
+	}
+	return res, nil
 }
 
 // treeNode converts a cluster node to the artifact tree model, resolving
@@ -233,7 +327,7 @@ func treeNode(n *cluster.Node, labels []string) *artifact.TreeNode {
 }
 
 // Artifact renders Fig 1: the dendrogram tree plus the representatives
-// line.
+// line, then one tree per external suite.
 func (r *Figure1Result) Artifact() *artifact.Artifact {
 	a := &artifact.Artifact{Name: "fig1", Title: "Fig 1: .NET category similarity dendrogram", Paper: "Fig. 1"}
 	a.Add(
@@ -244,6 +338,16 @@ func (r *Figure1Result) Artifact() *artifact.Artifact {
 		},
 		artifact.NoteLine("representatives", "  8-cut representatives: "+strings.Join(r.Subset, ", ")),
 	)
+	for _, es := range r.External {
+		a.Add(
+			&artifact.Tree{
+				Name:  "dendrogram:" + es.Wire,
+				Title: fmt.Sprintf("Fig 1 (external suite %s): similarity dendrogram", es.Title),
+				Root:  treeNode(es.Dendrogram.Root, es.Labels),
+			},
+			artifact.NoteLine("representatives:"+es.Wire, "  8-cut representatives: "+strings.Join(es.Subset, ", ")),
+		)
+	}
 	return a
 }
 
@@ -253,10 +357,13 @@ func (r *Figure1Result) String() string { return artifact.Text(r.Artifact()) }
 // Figure2Result reproduces Fig 2: validation of the representative
 // subsets via SPECspeed-style composite scores (Xeon baseline, i9 as
 // machine A). The paper reports A=98.7%, B=96.3%, A(o)=99.9%.
+// Registered external suites get the same two-machine validation.
 type Figure2Result struct {
 	SubsetA  subset.Validation // 8 of 44 categories (this repo's derived subset)
 	SubsetB  subset.Validation // 64 of the individual workloads
 	SubsetAO subset.Validation // exhaustive/greedy optimum over the A clusters
+
+	External []subset.Validation // one per registered external suite
 }
 
 // Figure2 validates subsets A, B and A(o).
@@ -311,7 +418,35 @@ func Figure2(ctx context.Context, l *Lab) (*Figure2Result, error) {
 	selB := chB.Subset(k)
 	valB := subset.Validate(fmt.Sprintf("Subset B (%d/%d workloads)", k, len(scoresB)), scoresB, selB)
 
-	return &Figure2Result{SubsetA: valA, SubsetB: valB, SubsetAO: valAO}, nil
+	res := &Figure2Result{SubsetA: valA, SubsetB: valB, SubsetAO: valAO}
+
+	// --- External suites: same two-machine validation, 8-cut subset ---
+	for _, def := range l.externalSuites() {
+		baseE, err := l.MeasureSuite(ctx, def, baseM)
+		if err != nil {
+			return nil, err
+		}
+		fastE, err := l.MeasureSuite(ctx, def, fastM)
+		if err != nil {
+			return nil, err
+		}
+		scoresE, err := machineScores(baseE, fastE)
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", def.Wire, err)
+		}
+		chE, err := core.Characterize(fastE, 4, cluster.Average)
+		if err != nil {
+			return nil, fmt.Errorf("suite %s: %w", def.Wire, err)
+		}
+		ke := 8
+		if ke > len(scoresE) {
+			ke = len(scoresE)
+		}
+		res.External = append(res.External, subset.Validate(
+			fmt.Sprintf("Subset %s (%d/%d)", def.Wire, ke, len(scoresE)),
+			scoresE, chE.Subset(ke)))
+	}
+	return res, nil
 }
 
 // machineScores computes SPECspeed-style scores from two machines'
@@ -330,10 +465,12 @@ func machineScores(base, fast []core.Measurement) ([]float64, error) {
 	return subset.Scores(b2, f2)
 }
 
-// Artifact renders Fig 2 as one validation table.
+// Artifact renders Fig 2 as one validation table; external-suite rows
+// follow the paper's three.
 func (r *Figure2Result) Artifact() *artifact.Artifact {
+	vals := append([]subset.Validation{r.SubsetA, r.SubsetB, r.SubsetAO}, r.External...)
 	rows := [][]artifact.Value{}
-	for _, v := range []subset.Validation{r.SubsetA, r.SubsetB, r.SubsetAO} {
+	for _, v := range vals {
 		rows = append(rows, []artifact.Value{
 			artifact.Str(v.Name),
 			artifact.Num(fmt.Sprintf("%.4f", v.FullComposite), v.FullComposite),

@@ -41,7 +41,9 @@ import (
 // FormatVersion stamps every key. Bump it whenever the serialized shape of
 // a measurement (or the meaning of any keyed input) changes: old entries
 // then hash to different keys and are simply never read again.
-const FormatVersion = 1
+// Version 2: workload.Suite became a string (suite-spec registry), so
+// profiles serialize differently inside the key envelope.
+const FormatVersion = 2
 
 // Store is an on-disk core.MeasurementCache rooted at a directory.
 type Store struct {

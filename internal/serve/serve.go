@@ -10,9 +10,14 @@
 //	GET  /v1/drivers/{name}  run one registered driver; body is the
 //	                         artifact array `charnet -format json name`
 //	                         prints
+//	GET  /v1/suites          the suite registry as JSON: every suite a
+//	                         measure request accepts, built-in and
+//	                         spec-loaded external alike
 //	POST /v1/measure         measure a suite (optionally a workload
 //	                         subset) on a machine; body is an artifact
-//	                         array with the measured metric vectors
+//	                         array with the measured metric vectors.
+//	                         Unknown suite, machine or workload names are
+//	                         client errors: 400 with a JSON error body
 //
 // Appending ?stream=jsonl to a driver or measure request switches the
 // response to a JSONL progress stream: one {"event":...} object per
@@ -64,6 +69,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 // Config sets the serving envelope.
@@ -157,11 +163,13 @@ func New(lab *experiments.Lab, tr *obs.Trace, cfg Config) *Server {
 	s.mux = telemetry.NewMux(tr, cfg.Info)
 	s.mux.HandleFunc("GET /v1/drivers", s.instrument("drivers", s.handleDrivers))
 	s.mux.HandleFunc("GET /v1/drivers/{name}", s.instrument("driver", s.handleDriver))
+	s.mux.HandleFunc("GET /v1/suites", s.instrument("suites", s.handleSuites))
 	s.mux.HandleFunc("POST /v1/measure", s.instrument("measure", s.handleMeasure))
 	// Wrong-method hits on the API prefix get explicit 405s rather than
 	// the mux's default 404, so clients can tell typo from misuse.
 	s.mux.HandleFunc("/v1/drivers", s.methodNotAllowed)
 	s.mux.HandleFunc("/v1/drivers/{name}", s.methodNotAllowed)
+	s.mux.HandleFunc("/v1/suites", s.methodNotAllowed)
 	s.mux.HandleFunc("/v1/measure", s.methodNotAllowed)
 	return s
 }
@@ -415,9 +423,47 @@ func (s *Server) handleDriver(w http.ResponseWriter, r *http.Request) {
 	s.finish(w, r, f)
 }
 
+// suiteListing is one registry row of GET /v1/suites.
+type suiteListing struct {
+	Name        string `json:"name"`  // wire name: what /v1/measure accepts
+	Suite       string `json:"suite"` // display name (feeds workload seeds)
+	Description string `json:"description,omitempty"`
+	Workloads   int    `json:"workloads"`
+	Builtin     bool   `json:"builtin"`
+}
+
+// handleSuites lists the Lab's suite registry — the values a measure
+// request's "suite" field accepts, including suites loaded from
+// -suite-spec files at daemon start. Like the driver roster, the listing
+// is static and cheap, so it bypasses the admission queue.
+func (s *Server) handleSuites(w http.ResponseWriter, r *http.Request) {
+	defs := s.lab.Suites()
+	listing := make([]suiteListing, len(defs))
+	for i, def := range defs {
+		listing[i] = suiteListing{
+			Name:        def.Wire,
+			Suite:       def.Suite.String(),
+			Description: def.Description,
+			Workloads:   def.Len(),
+			Builtin:     def.Builtin,
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Suites []suiteListing `json:"suites"`
+	}{listing}); err != nil {
+		s.respondError(w, err)
+		return
+	}
+	s.respondJSON(w, http.StatusOK, buf.Bytes())
+}
+
 // measureRequest is the POST /v1/measure body.
 type measureRequest struct {
-	// Suite is one of experiments.SuiteNames (required).
+	// Suite is a wire name from the Lab's suite registry (required);
+	// GET /v1/suites lists the accepted values.
 	Suite string `json:"suite"`
 	// Machine is a Table II machine name (machine.All); empty selects
 	// the Core i9, the paper's primary machine.
@@ -438,9 +484,15 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		s.respondError(w, &statusError{http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err)})
 		return
 	}
-	if !validSuite(req.Suite) {
+	def, ok := s.lab.Suite(req.Suite)
+	if !ok {
 		s.respondError(w, &statusError{http.StatusBadRequest,
-			fmt.Sprintf("unknown suite %q (want one of %v)", req.Suite, experiments.SuiteNames())})
+			fmt.Sprintf("unknown suite %q (want one of %v)", req.Suite, s.lab.SuiteNames())})
+		return
+	}
+	if unknown := unknownWorkloads(def, req.Workloads); len(unknown) > 0 {
+		s.respondError(w, &statusError{http.StatusBadRequest,
+			fmt.Sprintf("unknown workloads %q in suite %q", unknown, req.Suite)})
 		return
 	}
 	m, err := machineByName(req.Machine)
@@ -450,7 +502,7 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	}
 	f := func(ctx context.Context, lane int) ([]byte, error) {
 		span := s.root.ChildLane(lane, "measure-request", req.Suite)
-		ms, err := s.lab.MeasureSuiteByName(ctx, req.Suite, m)
+		ms, err := s.lab.MeasureSuite(ctx, def, m)
 		span.End()
 		if err != nil {
 			return nil, err
@@ -458,13 +510,28 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		if len(req.Workloads) > 0 {
 			ms = experiments.FilterMeasurements(ms, req.Workloads)
 			if len(ms) == 0 {
+				// Only reachable for sampled suites: the names exist in the
+				// catalog but fell outside the deterministic sample.
 				return nil, &statusError{http.StatusNotFound,
-					fmt.Sprintf("no requested workload exists in suite %q", req.Suite)}
+					fmt.Sprintf("no requested workload was sampled in suite %q", req.Suite)}
 			}
 		}
 		return renderArtifacts(measureArtifact(req.Suite, m, ms))
 	}
 	s.finish(w, r, f)
+}
+
+// unknownWorkloads returns the requested names the suite's catalog does
+// not contain, preserving request order. Validating before admission
+// turns a typo into an immediate 400 instead of a post-measurement 404.
+func unknownWorkloads(def *workload.SuiteDef, names []string) []string {
+	var unknown []string
+	for _, n := range names {
+		if _, ok := def.Lookup(n); !ok {
+			unknown = append(unknown, n)
+		}
+	}
+	return unknown
 }
 
 // finish routes an execution to the plain or streaming response path.
@@ -542,16 +609,6 @@ func renderArtifacts(arts ...*artifact.Artifact) ([]byte, error) {
 		return nil, err
 	}
 	return buf.Bytes(), nil
-}
-
-// validSuite reports whether suite is a published suite name.
-func validSuite(suite string) bool {
-	for _, s := range experiments.SuiteNames() {
-		if s == suite {
-			return true
-		}
-	}
-	return false
 }
 
 // machineByName resolves a Table II machine by its exact name, accepting

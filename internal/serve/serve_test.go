@@ -221,7 +221,7 @@ func TestEndpointsE2E(t *testing.T) {
 			{`{"suite":"aspnet","bogus":1}`, 400},
 			{`{"suite":"nope"}`, 400},
 			{`{"suite":"aspnet","machine":"ENIAC"}`, 400},
-			{`{"suite":"aspnet","workloads":["no-such-workload"]}`, 404},
+			{`{"suite":"aspnet","workloads":["no-such-workload"]}`, 400},
 		} {
 			resp, body := postJSON(t, srv, "/v1/measure", tc.body)
 			if resp.StatusCode != tc.want {
@@ -236,12 +236,67 @@ func TestEndpointsE2E(t *testing.T) {
 		}
 	})
 
+	t.Run("measure-unknown-workload-names-it", func(t *testing.T) {
+		resp, body := postJSON(t, srv, "/v1/measure", `{"suite":"aspnet","workloads":["Plaintext","NoSuchA","NoSuchB"]}`)
+		if resp.StatusCode != 400 {
+			t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+		}
+		var doc struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("error response not JSON: %v\n%s", err, body)
+		}
+		for _, want := range []string{"NoSuchA", "NoSuchB", "aspnet"} {
+			if !strings.Contains(doc.Error, want) {
+				t.Errorf("error %q does not name %q", doc.Error, want)
+			}
+		}
+		// The valid name must not appear among the rejected ones.
+		if strings.Contains(doc.Error, "Plaintext") {
+			t.Errorf("error %q names the valid workload", doc.Error)
+		}
+	})
+
+	t.Run("suites-list", func(t *testing.T) {
+		resp, body := get(t, srv, "/v1/suites")
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		var doc struct {
+			Suites []struct {
+				Name      string `json:"name"`
+				Suite     string `json:"suite"`
+				Workloads int    `json:"workloads"`
+				Builtin   bool   `json:"builtin"`
+			} `json:"suites"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("listing not JSON: %v\n%s", err, body)
+		}
+		names := experiments.SuiteNames()
+		if len(doc.Suites) != len(names) {
+			t.Fatalf("listed %d suites, want %d", len(doc.Suites), len(names))
+		}
+		for i, s := range doc.Suites {
+			if s.Name != names[i] {
+				t.Errorf("suite %d = %q, want %q (registration order)", i, s.Name, names[i])
+			}
+			if !s.Builtin || s.Workloads <= 0 || s.Suite == "" {
+				t.Errorf("suite %q row incomplete: %+v", s.Name, s)
+			}
+		}
+	})
+
 	t.Run("method-not-allowed", func(t *testing.T) {
 		if resp, _ := postJSON(t, srv, "/v1/drivers", `{}`); resp.StatusCode != 405 {
 			t.Errorf("POST /v1/drivers: status %d, want 405", resp.StatusCode)
 		}
 		if resp, _ := get(t, srv, "/v1/measure"); resp.StatusCode != 405 {
 			t.Errorf("GET /v1/measure: status %d, want 405", resp.StatusCode)
+		}
+		if resp, _ := postJSON(t, srv, "/v1/suites", `{}`); resp.StatusCode != 405 {
+			t.Errorf("POST /v1/suites: status %d, want 405", resp.StatusCode)
 		}
 	})
 
@@ -693,6 +748,83 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if cfg := (Config{RatePerSec: 2.5}).withDefaults(); cfg.Burst != 3 {
 		t.Fatalf("derived burst = %d, want 3", cfg.Burst)
+	}
+}
+
+// testSpec is a minimal external suite-spec document: two explicit
+// native workloads, enough to flow through serving end to end.
+const testSpec = `{
+  "format": "charnet-suite-spec",
+  "version": 1,
+  "wire": "memx",
+  "suite": "MemX",
+  "description": "external test suite",
+  "defaults": {
+    "BranchFrac": 0.15, "LoadFrac": 0.3, "StoreFrac": 0.12, "KernelFrac": 0.05,
+    "CodeFootprintBytes": 262144, "MethodCount": 400, "MethodZipf": 1.1,
+    "CallEveryInstr": 60, "BranchPredictability": 0.94, "TakenFrac": 0.55,
+    "MicrocodeFrac": 0.02, "DivFrac": 0.01, "WorkingSetBytes": 8388608,
+    "DataZipf": 0.9, "SequentialFrac": 0.6, "LocalFrac": 0.8, "ILP": 0.5,
+    "Managed": false, "DefaultCores": 1, "InstructionScale": 1.0
+  },
+  "workloads": [
+    {"name": "mem.stream", "category": "Mem", "profile": {"SequentialFrac": 0.95}},
+    {"name": "mem.random", "category": "Mem", "profile": {"SequentialFrac": 0.05, "DataZipf": 0.2}}
+  ]
+}`
+
+// TestExternalSuiteServing registers a spec-loaded suite on the Lab and
+// drives it through the daemon: it appears on GET /v1/suites as
+// non-built-in, measures through POST /v1/measure like any paper suite,
+// and gets the same 400 treatment for unknown workload names.
+func TestExternalSuiteServing(t *testing.T) {
+	tr := obs.New()
+	lab := quickLab(tr)
+	reg := workload.NewRegistry()
+	def, err := workload.ParseSpec([]byte(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(def); err != nil {
+		t.Fatal(err)
+	}
+	lab.Registry = reg
+	_, srv := newTestServer(t, lab, tr, Config{Workers: 2, QueueDepth: 8})
+
+	resp, body := get(t, srv, "/v1/suites")
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /v1/suites: status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Suites []struct {
+			Name      string `json:"name"`
+			Suite     string `json:"suite"`
+			Workloads int    `json:"workloads"`
+			Builtin   bool   `json:"builtin"`
+		} `json:"suites"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("listing not JSON: %v\n%s", err, body)
+	}
+	last := doc.Suites[len(doc.Suites)-1]
+	if last.Name != "memx" || last.Suite != "MemX" || last.Workloads != 2 || last.Builtin {
+		t.Fatalf("external suite row = %+v, want memx/MemX/2/external", last)
+	}
+
+	resp, body = postJSON(t, srv, "/v1/measure", `{"suite":"memx"}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("measure memx: status %d: %s", resp.StatusCode, body)
+	}
+	checkArtifactBody(t, body)
+	for _, want := range []string{"mem.stream", "mem.random"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("measure body missing workload %q", want)
+		}
+	}
+
+	resp, body = postJSON(t, srv, "/v1/measure", `{"suite":"memx","workloads":["mem.bogus"]}`)
+	if resp.StatusCode != 400 || !strings.Contains(string(body), "mem.bogus") {
+		t.Fatalf("unknown external workload: status %d, want 400 naming it: %s", resp.StatusCode, body)
 	}
 }
 

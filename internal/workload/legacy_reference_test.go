@@ -1,5 +1,14 @@
 package workload
 
+// This file is the frozen legacy reference: the hand-coded Go tables
+// that defined the paper's three suites before they were re-expressed
+// as embedded suite-spec documents (specs/*.json). It exists only for
+// tests: TestBuiltinSpecsBitIdentical proves the spec-generated
+// catalogs equal these tables field-by-field, and TestRegenBuiltinSpecs
+// rebuilds the embedded specs from them (CHARNET_REGEN_SPECS=1).
+// Do not edit the values: they are the deterministic identity of every
+// existing measurement.
+
 import (
 	"fmt"
 
@@ -212,13 +221,6 @@ var dotNetCategories = []dotNetCategory{
 	{"MicroBenchmarks.Serializers", kindSerialization, 463},
 }
 
-// DotNetCategoryCount is the number of .NET categories (44 in §II-A).
-const DotNetCategoryCount = 44
-
-// DotNetWorkloadCount is the number of individual .NET microbenchmarks
-// (2906 in §II-A).
-const DotNetWorkloadCount = 2906
-
 // tableIVDescriptions carries the paper's Table IV one-line descriptions
 // plus short descriptions for the remaining catalog entries.
 var categoryDescriptions = map[string]string{
@@ -265,7 +267,7 @@ func tweakCategory(name string, p Profile) Profile {
 // DotNetCategories returns the 44 category archetype profiles in catalog
 // order. These are what the paper analyzes "as a set of 44 categories":
 // each archetype stands for running the whole category as one process.
-func DotNetCategories() []Profile {
+func legacyDotNetCategories() []Profile {
 	out := make([]Profile, 0, len(dotNetCategories))
 	for _, c := range dotNetCategories {
 		p := applyKind(dotNetBase(), c.Kind)
@@ -368,7 +370,7 @@ var defaultFamilies = []familyTweak{
 // grouped by category in catalog order. Each is a seeded perturbation of
 // its category archetype, named after and nudged toward one of the
 // category's sub-benchmark families.
-func DotNetWorkloads() []Profile {
+func legacyDotNetWorkloads() []Profile {
 	out := make([]Profile, 0, DotNetWorkloadCount)
 	for _, c := range dotNetCategories {
 		arch := applyKind(dotNetBase(), c.Kind)
@@ -509,13 +511,10 @@ var aspNetVariants = []string{
 	"JsonNetInput60K", "JsonNetOutput60K",
 }
 
-// AspNetWorkloadCount is the ASP.NET suite size (53 in §II-B).
-const AspNetWorkloadCount = 53
-
 // AspNetWorkloads returns all 53 ASP.NET benchmark profiles: the eight
 // Table IV representatives with hand-tuned deviations, plus 45 seeded
 // scenario variants.
-func AspNetWorkloads() []Profile {
+func legacyAspNetWorkloads() []Profile {
 	out := make([]Profile, 0, AspNetWorkloadCount)
 	for _, s := range aspNetSpecs {
 		p := aspNetBase()
@@ -572,7 +571,7 @@ func specWorkload(name string, adjust func(*Profile)) Profile {
 // the rest of the speed suite, with per-benchmark parameters reflecting
 // their published characterizations (large and diverse working sets, small
 // hot code, diverse branch behavior — §V).
-func SpecWorkloads() []Profile {
+func legacySpecWorkloads() []Profile {
 	return []Profile{
 		// Table IV representative set.
 		specWorkload("mcf", func(p *Profile) {
@@ -684,25 +683,4 @@ func SpecWorkloads() []Profile {
 			p.BranchPredictability = 0.99
 		}),
 	}
-}
-
-// ByName finds a profile in a slice by name.
-func ByName(ps []Profile, name string) (Profile, bool) {
-	for _, p := range ps {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return Profile{}, false
-}
-
-// FilterCategory returns the workloads of one .NET category.
-func FilterCategory(ps []Profile, category string) []Profile {
-	var out []Profile
-	for _, p := range ps {
-		if p.Category == category {
-			out = append(out, p)
-		}
-	}
-	return out
 }

@@ -21,28 +21,23 @@ import (
 	"repro/internal/rng"
 )
 
-// Suite identifies a benchmark suite.
-type Suite int
+// Suite identifies a benchmark suite by its display name. It is an open
+// string type rather than a closed enum: the paper's three suites are the
+// constants below, and suite specs (see Spec) introduce new values without
+// touching any switch. The value feeds Seed, so a suite's name is part of
+// its workloads' deterministic identity and must never change once
+// measurements of it exist.
+type Suite string
 
+// The paper's three suites, named as the paper names them.
 const (
-	DotNet Suite = iota
-	AspNet
-	SpecCPU17
+	DotNet    Suite = ".NET"
+	AspNet    Suite = "ASP.NET"
+	SpecCPU17 Suite = "SPEC CPU17"
 )
 
 // String returns the suite's name as used in the paper.
-func (s Suite) String() string {
-	switch s {
-	case DotNet:
-		return ".NET"
-	case AspNet:
-		return "ASP.NET"
-	case SpecCPU17:
-		return "SPEC CPU17"
-	default:
-		return fmt.Sprintf("Suite(%d)", int(s))
-	}
-}
+func (s Suite) String() string { return string(s) }
 
 // Profile is the complete behavioral description of one workload.
 type Profile struct {

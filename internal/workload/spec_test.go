@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// minimalSpec builds a valid spec document that tests mutate into
+// specific failure shapes.
+func minimalSpec(mutate func(s string) string) []byte {
+	doc := `{
+  "format": "charnet-suite-spec",
+  "version": 1,
+  "wire": "tiny",
+  "suite": "Tiny",
+  "defaults": {
+    "BranchFrac": 0.15, "LoadFrac": 0.3, "StoreFrac": 0.12, "KernelFrac": 0.05,
+    "CodeFootprintBytes": 262144, "MethodCount": 400, "MethodZipf": 1.1,
+    "CallEveryInstr": 60, "BranchPredictability": 0.94, "TakenFrac": 0.55,
+    "MicrocodeFrac": 0.02, "DivFrac": 0.01, "WorkingSetBytes": 8388608,
+    "DataZipf": 0.9, "SequentialFrac": 0.6, "LocalFrac": 0.8, "ILP": 0.5,
+    "Managed": false, "DefaultCores": 1, "InstructionScale": 1.0
+  },
+  "workloads": [{"name": "w1"}, {"name": "w2", "profile": {"ILP": 0.7}}]
+}`
+	if mutate != nil {
+		doc = mutate(doc)
+	}
+	return []byte(doc)
+}
+
+func TestParseSpecMinimal(t *testing.T) {
+	def, err := ParseSpec(minimalSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Wire != "tiny" || def.Suite != Suite("Tiny") || def.Len() != 2 {
+		t.Fatalf("def = %+v, want tiny/Tiny/2", def)
+	}
+	p, ok := def.Lookup("w2")
+	if !ok || p.ILP != 0.7 {
+		t.Fatalf("w2 = %+v ok=%v, want ILP override 0.7", p, ok)
+	}
+	if p.Suite != Suite("Tiny") {
+		t.Fatalf("w2 suite = %q, want Tiny", p.Suite)
+	}
+	// The seed contract: identity is (suite display name, workload name).
+	want := Profile{Suite: Suite("Tiny"), Name: "w2"}
+	if p.Seed() != want.Seed() {
+		t.Fatal("Seed() must depend only on suite display name and workload name")
+	}
+}
+
+// TestParseSpecErrors exercises every parse-time rejection: the engine
+// must fail loading, never generation, so a registered suite cannot
+// misbehave later.
+func TestParseSpecErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		doc     []byte
+		wantErr string
+	}{
+		{"not-json", []byte("nope"), "spec:"},
+		{"wrong-format", minimalSpec(func(s string) string {
+			return strings.Replace(s, "charnet-suite-spec", "other-format", 1)
+		}), `format "other-format"`},
+		{"wrong-version", minimalSpec(func(s string) string {
+			return strings.Replace(s, `"version": 1`, `"version": 99`, 1)
+		}), "version 99"},
+		{"bad-wire", minimalSpec(func(s string) string {
+			return strings.Replace(s, `"wire": "tiny"`, `"wire": "Not Wire"`, 1)
+		}), "wire name"},
+		{"missing-suite", minimalSpec(func(s string) string {
+			return strings.Replace(s, `"suite": "Tiny",`, "", 1)
+		}), "missing suite display name"},
+		{"unknown-top-level-key", minimalSpec(func(s string) string {
+			return strings.Replace(s, `"wire"`, `"wirr"`, 1)
+		}), "unknown field"},
+		{"unknown-profile-key", minimalSpec(func(s string) string {
+			return strings.Replace(s, `"ILP": 0.7`, `"IPL": 0.7`, 1)
+		}), "unknown field"},
+		{"unnamed-workload", minimalSpec(func(s string) string {
+			return strings.Replace(s, `{"name": "w1"}`, `{}`, 1)
+		}), "unnamed workload"},
+		{"duplicate-name", minimalSpec(func(s string) string {
+			return strings.Replace(s, `"name": "w2"`, `"name": "w1"`, 1)
+		}), `duplicate workload name "w1"`},
+		{"invalid-profile", minimalSpec(func(s string) string {
+			return strings.Replace(s, `{"ILP": 0.7}`, `{"BranchPredictability": 0.2}`, 1)
+		}), "predictability"},
+		{"no-workloads", minimalSpec(func(s string) string {
+			return strings.Replace(s, `[{"name": "w1"}, {"name": "w2", "profile": {"ILP": 0.7}}]`, `[]`, 1)
+		}), "no workloads"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.doc)
+			if err == nil {
+				t.Fatalf("ParseSpec accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// addGenerate splices a generate block (and a families table) into the
+// minimal spec.
+func addGenerate(block string) []byte {
+	return minimalSpec(func(s string) string {
+		families := `"families": {"fams": [{"name": "A", "ops": [{"field": "ILP", "op": "mul", "value": 1.1, "clamp": [0, 1]}]}]},`
+		return strings.Replace(s, `"workloads":`, families+"\n  \"generate\": ["+block+"],\n  \"workloads\":", 1)
+	})
+}
+
+func TestParseSpecGenerateErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		block   string
+		wantErr string
+	}{
+		{"missing-seed", `{"category": "C", "spread": 0.2, "count": 2, "families": "fams"}`, "missing seed"},
+		{"bad-spread", `{"category": "C", "seed": ["x"], "spread": 1.5, "count": 2, "families": "fams"}`, "spread"},
+		{"count-and-names", `{"category": "C", "seed": ["x"], "spread": 0.2, "count": 2, "families": "fams", "names": ["n"]}`, "exactly one of count or names"},
+		{"neither-count-nor-names", `{"category": "C", "seed": ["x"], "spread": 0.2}`, "exactly one of count or names"},
+		{"count-without-category", `{"seed": ["x"], "spread": 0.2, "count": 2, "families": "fams"}`, "requires a category"},
+		{"unknown-families", `{"category": "C", "seed": ["x"], "spread": 0.2, "count": 2, "families": "nope"}`, `families "nope" not defined`},
+		{"empty-name", `{"seed": ["x"], "spread": 0.2, "names": ["ok", ""]}`, "empty workload name"},
+		{"bad-post-op", `{"seed": ["x"], "spread": 0.2, "names": ["n"], "post": [{"field": "ILP", "op": "frobnicate"}]}`, `unknown op "frobnicate"`},
+		{"bad-post-field", `{"seed": ["x"], "spread": 0.2, "names": ["n"], "post": [{"field": "Name", "op": "set", "value": 1}]}`, "unknown op field"},
+		{"clamp-without-range", `{"seed": ["x"], "spread": 0.2, "names": ["n"], "post": [{"field": "ILP", "op": "clamp"}]}`, "requires a clamp range"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(addGenerate(tc.block))
+			if err == nil {
+				t.Fatal("ParseSpec accepted a malformed generate block")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseSpecGenerateDeterministic: parsing the same bytes twice
+// produces identical profile sets — the in-process half of the
+// determinism contract (the cross-process half lives in
+// internal/mstore's re-exec test).
+func TestParseSpecGenerateDeterministic(t *testing.T) {
+	doc := addGenerate(`{"category": "C", "description": "gen", "seed": ["tiny", "gen"], "spread": 0.3, "count": 5, "families": "fams", "post": [{"field": "InstructionScale", "op": "clamp", "clamp": [0.05, 3]}]}`)
+	a, err := ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSpec(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, bp := a.Profiles(), b.Profiles()
+	if len(ap) != len(bp) || len(ap) != 7 { // 5 generated + 2 explicit
+		t.Fatalf("profile counts %d/%d, want 7", len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("profile %d (%s) differs between two parses of identical bytes", i, ap[i].Name)
+		}
+	}
+	// Count-mode naming: Category.Family.NN cycling the family list.
+	if _, ok := a.Lookup("C.A.00"); !ok {
+		t.Fatalf("generated names missing C.A.00: %v", names(ap))
+	}
+	if _, ok := a.Lookup("C.A.04"); !ok {
+		t.Fatalf("generated names missing C.A.04: %v", names(ap))
+	}
+}
+
+func names(ps []Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// TestRegistryDuplicateWire: wire names are unique per registry, and the
+// built-in registry cannot be shadowed.
+func TestRegistryDuplicateWire(t *testing.T) {
+	reg := NewRegistry()
+	def, err := ParseSpec(minimalSpec(func(s string) string {
+		return strings.Replace(s, `"wire": "tiny"`, `"wire": "dotnet"`, 1)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(def); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("registering a duplicate wire returned %v", err)
+	}
+	fresh, err := ParseSpec(minimalSpec(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Names(); got[len(got)-1] != "tiny" || len(got) != len(Builtin().Names())+1 {
+		t.Fatalf("registry names = %v", got)
+	}
+	// The shared built-in registry must be untouched by the copy's growth.
+	if _, ok := Builtin().Lookup("tiny"); ok {
+		t.Fatal("external registration leaked into the built-in registry")
+	}
+}

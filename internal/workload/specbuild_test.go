@@ -1,0 +1,335 @@
+package workload
+
+// Builders that re-express the frozen legacy tables
+// (legacy_reference_test.go) as suite-spec documents. They serve two
+// tests: TestRegenBuiltinSpecs rewrites specs/*.json from the tables
+// (run with CHARNET_REGEN_SPECS=1 after any deliberate catalog change),
+// and TestBuiltinSpecsMatchEmbedded fails when the embedded documents
+// drift from what the tables produce. TestBuiltinSpecsBitIdentical then
+// closes the loop: the spec engine's output equals the legacy
+// generators field-by-field.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func mustJSON(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return raw
+}
+
+// paramsDiff returns the override object holding only the parameters
+// where p differs from base (nil when identical). Values round-trip
+// exactly: Go marshals float64 shortest-form and re-parses to the same
+// bits, and every integer parameter is far below 2^53.
+func paramsDiff(t *testing.T, base, p profileParams) json.RawMessage {
+	t.Helper()
+	bv, pv := reflect.ValueOf(base), reflect.ValueOf(p)
+	typ := reflect.TypeOf(base)
+	diff := map[string]any{}
+	for i := 0; i < typ.NumField(); i++ {
+		if bv.Field(i).Interface() != pv.Field(i).Interface() {
+			diff[typ.Field(i).Name] = pv.Field(i).Interface()
+		}
+	}
+	if len(diff) == 0 {
+		return nil
+	}
+	return mustJSON(t, diff)
+}
+
+// Op constructors keep the family tables readable.
+func mulOp(field string, v float64) Op { return Op{Field: field, Op: "mul", Value: v} }
+func addOp(field string, v float64) Op { return Op{Field: field, Op: "add", Value: v} }
+func mulClampOp(field string, v, lo, hi float64) Op {
+	c := [2]float64{lo, hi}
+	return Op{Field: field, Op: "mul", Value: v, Clamp: &c}
+}
+func addClampOp(field string, v, lo, hi float64) Op {
+	c := [2]float64{lo, hi}
+	return Op{Field: field, Op: "add", Value: v, Clamp: &c}
+}
+func clampOp(field string, lo, hi float64) Op {
+	c := [2]float64{lo, hi}
+	return Op{Field: field, Op: "clamp", Clamp: &c}
+}
+
+// dotNetSpecFamilies is kindFamilies/defaultFamilies translated to op
+// lists. Op order inside a family matches the legacy closure statement
+// order; values and clamp bounds are copied verbatim.
+func dotNetSpecFamilies() map[string][]Family {
+	return map[string][]Family{
+		"collections": {
+			{Name: "Dictionary", Ops: []Op{mulOp("DataZipf", 1.1), mulClampOp("LoadFrac", 1.05, 0.05, 0.55)}},
+			{Name: "List", Ops: []Op{mulClampOp("SequentialFrac", 1.5, 0, 0.95)}},
+			{Name: "HashSet", Ops: []Op{mulOp("DataZipf", 0.9)}},
+			{Name: "SortedSet", Ops: []Op{mulClampOp("BranchFrac", 1.2, 0.01, 0.4)}},
+			{Name: "Queue", Ops: []Op{mulClampOp("SequentialFrac", 1.8, 0, 0.95), mulOp("AllocBytesPerKI", 1.2)}},
+			{Name: "Stack", Ops: []Op{mulClampOp("LocalFrac", 1.02, 0, 0.98)}},
+			{Name: "ConcurrentDictionary", Ops: []Op{addOp("ContentionPKI", 0.5), addClampOp("MicrocodeFrac", 0.02, 0, 0.2)}},
+			{Name: "Array", Ops: []Op{mulClampOp("SequentialFrac", 2, 0, 0.95), mulClampOp("ILP", 1.2, 0.1, 0.95)}},
+		},
+		"text": {
+			{Name: "Format", Ops: []Op{mulOp("AllocBytesPerKI", 1.3)}},
+			{Name: "Split", Ops: []Op{mulOp("AllocBytesPerKI", 1.5), mulClampOp("StoreFrac", 1.1, 0.01, 0.35)}},
+			{Name: "IndexOf", Ops: []Op{mulClampOp("SequentialFrac", 1.6, 0, 0.95), mulClampOp("BranchFrac", 1.1, 0.01, 0.4)}},
+			{Name: "Encoding", Ops: []Op{mulClampOp("ILP", 1.15, 0.1, 0.95)}},
+			{Name: "StringBuilder", Ops: []Op{mulOp("AllocBytesPerKI", 1.4), mulClampOp("SequentialFrac", 1.3, 0, 0.95)}},
+			{Name: "Compare", Ops: []Op{mulClampOp("BranchFrac", 1.15, 0.01, 0.4)}},
+		},
+		"math": {
+			{Name: "Scalar", Ops: []Op{mulClampOp("ILP", 1.05, 0.1, 0.95)}},
+			{Name: "Vector", Ops: []Op{mulClampOp("ILP", 1.2, 0.1, 0.95), mulClampOp("SequentialFrac", 1.3, 0, 0.95)}},
+			{Name: "Double", Ops: []Op{mulClampOp("DivFrac", 1.5, 0, 0.2)}},
+			{Name: "BigInteger", Ops: []Op{mulOp("AllocBytesPerKI", 3), mulClampOp("LoadFrac", 1.1, 0.05, 0.55)}},
+		},
+		"serialization": {
+			{Name: "Read", Ops: []Op{mulClampOp("LoadFrac", 1.1, 0.05, 0.55), mulClampOp("BranchFrac", 1.1, 0.01, 0.4)}},
+			{Name: "Write", Ops: []Op{mulClampOp("StoreFrac", 1.2, 0.01, 0.35)}},
+			{Name: "RoundTrip", Ops: []Op{mulOp("AllocBytesPerKI", 1.3)}},
+			{Name: "Stream", Ops: []Op{mulClampOp("SequentialFrac", 1.5, 0, 0.95), addClampOp("KernelFrac", 0.05, 0, 0.9)}},
+		},
+		"io": {
+			{Name: "FileStream", Ops: []Op{mulClampOp("KernelFrac", 1.2, 0, 0.9)}},
+			{Name: "MemoryStream", Ops: []Op{mulClampOp("KernelFrac", 0.4, 0, 0.9), mulClampOp("SequentialFrac", 1.5, 0, 0.95)}},
+			{Name: "BinaryReader", Ops: []Op{mulClampOp("LoadFrac", 1.1, 0.05, 0.55)}},
+			{Name: "Path", Ops: []Op{mulOp("AllocBytesPerKI", 1.2)}},
+		},
+		"threading": {
+			{Name: "Monitor", Ops: []Op{mulOp("ContentionPKI", 1.5)}},
+			{Name: "Interlocked", Ops: []Op{mulOp("ContentionPKI", 0.5), addClampOp("MicrocodeFrac", 0.03, 0, 0.2)}},
+			{Name: "ThreadPool", Ops: []Op{mulClampOp("KernelFrac", 1.2, 0, 0.9)}},
+			{Name: "Tasks", Ops: []Op{mulOp("AllocBytesPerKI", 1.5)}},
+		},
+		"default": {
+			{Name: "Basic"},
+			{Name: "Complex", Ops: []Op{mulClampOp("CodeFootprintBytes", 1.3, 4096, 64<<20)}},
+			{Name: "Alloc", Ops: []Op{mulOp("AllocBytesPerKI", 1.4)}},
+			{Name: "Tight", Ops: []Op{mulClampOp("MethodZipf", 1.2, 0.3, 1.8), mulClampOp("LocalFrac", 1.02, 0, 0.98)}},
+		},
+	}
+}
+
+// familiesKey names the family table a category's kind uses.
+func familiesKey(k archetypeKind) string {
+	switch k {
+	case kindCollections:
+		return "collections"
+	case kindText:
+		return "text"
+	case kindMath:
+		return "math"
+	case kindSerialization:
+		return "serialization"
+	case kindIO:
+		return "io"
+	case kindThreading:
+		return "threading"
+	default:
+		return "default"
+	}
+}
+
+func buildDotNetSpec(t *testing.T) Spec {
+	base := paramsOf(dotNetBase())
+	var ws []SpecWorkload
+	for _, p := range legacyDotNetCategories() {
+		ws = append(ws, SpecWorkload{
+			Name:        p.Name,
+			Category:    p.Category,
+			Description: p.Description,
+			Profile:     paramsDiff(t, base, paramsOf(p)),
+		})
+	}
+	return Spec{
+		Format:      SpecFormat,
+		Version:     SpecVersion,
+		Wire:        "dotnet",
+		Suite:       string(DotNet),
+		Description: "The 44 .NET microbenchmark category archetypes (§II-A); each stands for running a whole category as one process.",
+		Defaults:    mustJSON(t, base),
+		Workloads:   ws,
+	}
+}
+
+func buildDotNetIndividualSpec(t *testing.T) Spec {
+	base := paramsOf(dotNetBase())
+	var gens []SpecGenerate
+	for _, c := range dotNetCategories {
+		arch := tweakCategory(c.Name, applyKind(dotNetBase(), c.Kind))
+		gens = append(gens, SpecGenerate{
+			Category:    c.Name,
+			Description: categoryDescriptions[c.Name],
+			Profile:     paramsDiff(t, base, paramsOf(arch)),
+			Seed:        []string{"dotnet-workloads", c.Name},
+			Spread:      0.35,
+			Count:       c.Count,
+			Families:    familiesKey(c.Kind),
+			Post:        []Op{clampOp("InstructionScale", 0.05, 3)},
+		})
+	}
+	return Spec{
+		Format:      SpecFormat,
+		Version:     SpecVersion,
+		Wire:        "dotnet-individual",
+		Suite:       string(DotNet),
+		Description: "All 2906 individual .NET microbenchmarks (§II-A): seeded perturbations of the category archetypes, grouped into sub-benchmark families.",
+		Defaults:    mustJSON(t, base),
+		Families:    dotNetSpecFamilies(),
+		Generate:    gens,
+		Measurement: &SpecMeasurement{InstructionsDivisor: 3, InstructionsExtra: 1000, Sampled: true},
+	}
+}
+
+func buildAspNetSpec(t *testing.T) Spec {
+	base := paramsOf(aspNetBase())
+	var ws []SpecWorkload
+	for _, s := range aspNetSpecs {
+		p := aspNetBase()
+		p.Name = s.Name
+		s.Adjust(&p)
+		ws = append(ws, SpecWorkload{
+			Name:        s.Name,
+			Description: p.Description,
+			Profile:     paramsDiff(t, base, paramsOf(p)),
+		})
+	}
+	return Spec{
+		Format:      SpecFormat,
+		Version:     SpecVersion,
+		Wire:        "aspnet",
+		Suite:       string(AspNet),
+		Description: "The 53 ASP.NET benchmarks (§II-B): eight Table IV representatives plus TechEmpower-style scenario variants.",
+		Defaults:    mustJSON(t, base),
+		Workloads:   ws,
+		Generate: []SpecGenerate{{
+			Seed:   []string{"aspnet-variants"},
+			Spread: 0.25,
+			Names:  aspNetVariants,
+		}},
+	}
+}
+
+func buildSpecCPUSpec(t *testing.T) Spec {
+	base := paramsOf(specWorkload("base", func(*Profile) {}))
+	var ws []SpecWorkload
+	for _, p := range legacySpecWorkloads() {
+		ws = append(ws, SpecWorkload{
+			Name:    p.Name,
+			Profile: paramsDiff(t, base, paramsOf(p)),
+		})
+	}
+	return Spec{
+		Format:      SpecFormat,
+		Version:     SpecVersion,
+		Wire:        "spec",
+		Suite:       string(SpecCPU17),
+		Description: "The SPEC CPU17 speed suite: the Table IV eight plus the remaining members, per their published characterizations (§V).",
+		Defaults:    mustJSON(t, base),
+		Workloads:   ws,
+	}
+}
+
+// builtSpec is one regenerated builtin document.
+type builtSpec struct {
+	wire string
+	data []byte
+}
+
+func builtSpecDocs(t *testing.T) []builtSpec {
+	t.Helper()
+	specs := []Spec{
+		buildDotNetSpec(t),
+		buildDotNetIndividualSpec(t),
+		buildAspNetSpec(t),
+		buildSpecCPUSpec(t),
+	}
+	out := make([]builtSpec, len(specs))
+	for i, s := range specs {
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal %s: %v", s.Wire, err)
+		}
+		out[i] = builtSpec{wire: s.Wire, data: append(data, '\n')}
+	}
+	return out
+}
+
+// TestRegenBuiltinSpecs rewrites the embedded spec documents from the
+// legacy tables. It only runs when asked:
+//
+//	CHARNET_REGEN_SPECS=1 go test -run TestRegenBuiltinSpecs ./internal/workload
+func TestRegenBuiltinSpecs(t *testing.T) {
+	if os.Getenv("CHARNET_REGEN_SPECS") == "" {
+		t.Skip("set CHARNET_REGEN_SPECS=1 to rewrite specs/*.json")
+	}
+	for _, s := range builtSpecDocs(t) {
+		if err := os.WriteFile("specs/"+s.wire+".json", s.data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote specs/%s.json (%d bytes)", s.wire, len(s.data))
+	}
+}
+
+// TestBuiltinSpecsMatchEmbedded proves the embedded documents are
+// exactly what the legacy tables regenerate — no hand edits, no drift.
+func TestBuiltinSpecsMatchEmbedded(t *testing.T) {
+	for _, s := range builtSpecDocs(t) {
+		want, err := builtinSpecs.ReadFile("specs/" + s.wire + ".json")
+		if err != nil {
+			t.Fatalf("embedded spec %s: %v", s.wire, err)
+		}
+		if !bytes.Equal(want, s.data) {
+			t.Errorf("specs/%s.json is stale; regenerate with CHARNET_REGEN_SPECS=1 go test -run TestRegenBuiltinSpecs ./internal/workload", s.wire)
+		}
+	}
+}
+
+// TestBuiltinSpecsBitIdentical is the differential proof: the spec
+// engine's catalogs equal the legacy generators field-by-field.
+func TestBuiltinSpecsBitIdentical(t *testing.T) {
+	cases := []struct {
+		label string
+		got   []Profile
+		want  []Profile
+	}{
+		{"DotNetCategories", DotNetCategories(), legacyDotNetCategories()},
+		{"DotNetWorkloads", DotNetWorkloads(), legacyDotNetWorkloads()},
+		{"AspNetWorkloads", AspNetWorkloads(), legacyAspNetWorkloads()},
+		{"SpecWorkloads", SpecWorkloads(), legacySpecWorkloads()},
+	}
+	for _, c := range cases {
+		if len(c.got) != len(c.want) {
+			t.Errorf("%s: %d profiles from spec, %d from legacy tables", c.label, len(c.got), len(c.want))
+			continue
+		}
+		mismatches := 0
+		for i := range c.got {
+			if c.got[i] == c.want[i] {
+				continue
+			}
+			mismatches++
+			if mismatches > 5 {
+				t.Errorf("%s: ... more mismatches elided", c.label)
+				break
+			}
+			gv, wv := reflect.ValueOf(c.got[i]), reflect.ValueOf(c.want[i])
+			typ := reflect.TypeOf(c.got[i])
+			for f := 0; f < typ.NumField(); f++ {
+				if gv.Field(f).Interface() != wv.Field(f).Interface() {
+					t.Errorf("%s[%d] %s: field %s: spec=%v legacy=%v",
+						c.label, i, c.want[i].Name, typ.Field(f).Name,
+						gv.Field(f).Interface(), wv.Field(f).Interface())
+				}
+			}
+		}
+	}
+}

@@ -210,8 +210,8 @@ func TestSuiteString(t *testing.T) {
 	if DotNet.String() != ".NET" || AspNet.String() != "ASP.NET" || SpecCPU17.String() != "SPEC CPU17" {
 		t.Fatal("suite names")
 	}
-	if Suite(9).String() != "Suite(9)" {
-		t.Fatal("unknown suite formatting")
+	if Suite("SPEC CPU17 mem").String() != "SPEC CPU17 mem" {
+		t.Fatal("external suite formatting")
 	}
 }
 

@@ -27,6 +27,11 @@
 #                reproduce the legacy renderings exactly), then the same
 #                drivers as -format json validated by cmd/artifactcheck;
 #                one shared -cache DIR keeps the second pass fast
+#   spec smoke   every examples/*.json workload spec validated by
+#                cmd/artifactcheck -spec, then charnet -suite-spec
+#                examples/spec2017mem.json table4 run end-to-end: the
+#                text rendering must grow the external suite's column
+#                and the JSON rendering must still validate
 #   daemon smoke charnetd on an ephemeral port: one /v1/measure request
 #                validated by cmd/artifactcheck, /metrics scraped by
 #                cmd/metricscheck for the serve.* families, then SIGTERM
@@ -124,6 +129,19 @@ if ! cmp -s "$renderdir/full.txt" docs/full_output.txt; then
 fi
 "$renderdir/charnet" -full -cache "$renderdir/mstore" -format json all > "$renderdir/full.json"
 "$renderdir/artifactcheck" < "$renderdir/full.json"
+
+echo "== spec smoke (artifactcheck -spec examples/*.json, then -suite-spec through table4)"
+specdir="$workdir/spec"
+mkdir -p "$specdir"
+for f in examples/*.json; do
+    "$renderdir/artifactcheck" -spec "$f"
+done
+"$renderdir/charnet" -suite-spec examples/spec2017mem.json -cache "$specdir/mstore" table4 \
+    > "$specdir/table4.txt"
+grep -q "SPEC CPU17 mem" "$specdir/table4.txt" || {
+    echo "external suite column missing from table4 text rendering" >&2; exit 1; }
+"$renderdir/charnet" -suite-spec examples/spec2017mem.json -cache "$specdir/mstore" \
+    -format json table4 | "$renderdir/artifactcheck"
 
 echo "== daemon smoke (charnetd serve + measure + /metrics scrape + graceful SIGTERM)"
 daemondir="$workdir/daemon"
